@@ -1,0 +1,129 @@
+// Command dta is the standalone tuning advisor: given a setup script
+// (DDL + loads) and a workload script (queries and DML), it recommends
+// a set of B+ tree and columnstore indexes.
+//
+// Usage:
+//
+//	dta -setup schema.sql -workload queries.sql [-budget-mb 64] [-btree-only] [-apply]
+//
+// Scripts are semicolon-separated SQL statements; lines starting with
+// "--" are comments. With -apply the recommendation is materialized
+// and the workload re-executed to report measured improvement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybriddb"
+)
+
+func main() {
+	var (
+		setupPath    = flag.String("setup", "", "SQL script creating and loading tables")
+		workloadPath = flag.String("workload", "", "SQL workload to tune for")
+		budgetMB     = flag.Int64("budget-mb", 0, "storage budget for new indexes (0 = unlimited)")
+		btreeOnly    = flag.Bool("btree-only", false, "restrict the search to B+ tree indexes")
+		apply        = flag.Bool("apply", false, "materialize the recommendation and measure")
+		maxIndexes   = flag.Int("max-indexes", 0, "cap on recommended indexes (0 = none)")
+	)
+	flag.Parse()
+	if *setupPath == "" || *workloadPath == "" {
+		fmt.Fprintln(os.Stderr, "dta: -setup and -workload are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := hybriddb.Open()
+	for _, stmt := range readScript(*setupPath) {
+		if _, err := db.Exec(stmt); err != nil {
+			fatal("setup: %s: %v", stmt, err)
+		}
+	}
+
+	var w hybriddb.Workload
+	for _, stmt := range readScript(*workloadPath) {
+		w = append(w, hybriddb.Statement{SQL: stmt})
+	}
+	if len(w) == 0 {
+		fatal("workload: no statements found")
+	}
+
+	rec, err := db.Tune(w, hybriddb.TuneOptions{
+		StorageBudget: *budgetMB << 20,
+		NoColumnstore: *btreeOnly,
+		MaxIndexes:    *maxIndexes,
+	})
+	if err != nil {
+		fatal("tune: %v", err)
+	}
+
+	fmt.Printf("estimated workload cost: %v -> %v (%.2fx)\n",
+		rec.BaselineCost.Round(time.Microsecond),
+		rec.RecommendedCost.Round(time.Microsecond),
+		rec.Improvement())
+	fmt.Printf("recommended indexes (%d, est %.2f MB):\n", len(rec.Indexes), float64(rec.TotalBytes)/1e6)
+	for i, ix := range rec.Indexes {
+		fmt.Printf("  %s;\n", ix.DDL(fmt.Sprintf("dta_%d", i+1)))
+	}
+
+	if !*apply {
+		return
+	}
+	before := measure(db, w)
+	if err := rec.Apply(db.Internal()); err != nil {
+		fatal("apply: %v", err)
+	}
+	after := measure(db, w)
+	fmt.Printf("measured workload CPU: %v -> %v (%.2fx)\n",
+		before.Round(time.Microsecond), after.Round(time.Microsecond),
+		float64(before)/float64(after+1))
+}
+
+func measure(db *hybriddb.DB, w hybriddb.Workload) time.Duration {
+	var total time.Duration
+	for _, st := range w {
+		res, err := db.Exec(st.SQL)
+		if err != nil {
+			fatal("run: %s: %v", st.SQL, err)
+		}
+		weight := st.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		total += time.Duration(float64(res.Metrics.CPUTime) * weight)
+	}
+	return total
+}
+
+// readScript splits a file into semicolon-separated statements,
+// dropping comment lines.
+func readScript(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var sb strings.Builder
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "--") {
+			continue
+		}
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	var out []string
+	for _, stmt := range strings.Split(sb.String(), ";") {
+		if s := strings.TrimSpace(stmt); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dta: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command hshell is a small interactive SQL shell over a hybriddb
+// instance. Statements end with ';'. Meta-commands:
+//
+//	\q            quit
+//	\cool         evict the buffer pool (cold runs)
+//	\warm         make everything resident
+//	\explain SQL  show the optimizer's plan
+//	\tables       list tables and row counts
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hybriddb"
+)
+
+func main() {
+	db := hybriddb.Open()
+	fmt.Println("hybriddb shell — end statements with ';', \\q to quit")
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("hybriddb> ")
+		} else {
+			fmt.Print("      ... ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			for _, stmt := range strings.Split(buf.String(), ";") {
+				if s := strings.TrimSpace(stmt); s != "" {
+					run(db, s)
+				}
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func meta(db *hybriddb.DB, cmd string) bool {
+	switch {
+	case cmd == "\\q" || cmd == "\\quit":
+		return false
+	case cmd == "\\cool":
+		db.CoolCache()
+		fmt.Println("buffer pool cooled")
+	case cmd == "\\warm":
+		db.WarmCache()
+		fmt.Println("buffer pool warmed")
+	case cmd == "\\tables":
+		names := make([]string, 0)
+		for name := range db.Internal().Tables() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-24s %d rows\n", n, db.TableRows(n))
+		}
+	case strings.HasPrefix(cmd, "\\explain "):
+		plan, err := db.Explain(strings.TrimPrefix(cmd, "\\explain "))
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(plan)
+		}
+	default:
+		fmt.Println("unknown command", cmd)
+	}
+	return true
+}
+
+func run(db *hybriddb.DB, stmt string) {
+	res, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		limit := len(res.Rows)
+		if limit > 50 {
+			limit = 50
+		}
+		for _, row := range res.Rows[:limit] {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		if limit < len(res.Rows) {
+			fmt.Printf("... (%d rows total)\n", len(res.Rows))
+		}
+	} else if res.RowsAffected > 0 {
+		fmt.Printf("%d row(s) affected\n", res.RowsAffected)
+	}
+	fmt.Printf("[exec %v, cpu %v, read %.2f MB, dop %d]\n",
+		res.Metrics.ExecTime.Round(time.Microsecond),
+		res.Metrics.CPUTime.Round(time.Microsecond),
+		float64(res.Metrics.DataRead)/1e6, res.Metrics.DOP)
+}

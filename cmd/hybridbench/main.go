@@ -1,0 +1,55 @@
+// Command hybridbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hybridbench                     # run every experiment (full scale)
+//	hybridbench -experiment fig1    # run one experiment
+//	hybridbench -quick              # reduced scale (fast smoke run)
+//	hybridbench -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybriddb/internal/experiments"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "", "experiment ID to run (default: all)")
+		quick = flag.Bool("quick", false, "reduced data scale for fast runs")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		for _, t := range e.Run(*quick) {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *expID != "" {
+		e, ok := experiments.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range experiments.Registry() {
+		run(e)
+	}
+}

@@ -1,0 +1,74 @@
+// Data skipping: how pre-sorted data turns columnstore segment
+// elimination into a B+-tree-like access path (the paper's Figure 2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"hybriddb"
+	"hybriddb/internal/value"
+)
+
+const (
+	rows     = 500_000
+	maxValue = 1 << 31
+)
+
+// build loads one column of uniform values — in generation order or
+// pre-sorted — and compresses it into a primary columnstore.
+func build(sorted bool) *hybriddb.DB {
+	db := hybriddb.Open(hybriddb.WithColdStorage(), hybriddb.WithRowGroupSize(4096))
+	if _, err := db.Exec("CREATE TABLE t (col1 BIGINT)"); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int64, rows)
+	for i := range vals {
+		vals[i] = rng.Int63n(maxValue)
+	}
+	if sorted {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	}
+	data := make([]value.Row, rows)
+	for i, v := range vals {
+		data[i] = value.Row{value.NewInt(v)}
+	}
+	db.Internal().Table("t").BulkLoad(nil, data)
+	if _, err := db.Exec("CREATE CLUSTERED COLUMNSTORE INDEX cci ON t"); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+func main() {
+	fmt.Println("building columnstore on random-order data...")
+	random := build(false)
+	fmt.Println("building columnstore on pre-sorted data...")
+	sorted := build(true)
+
+	fmt.Printf("\n%-8s %-28s %-28s\n", "sel%", "CSI random", "CSI sorted")
+	for _, pct := range []float64{0.01, 0.1, 1, 10} {
+		cut := int64(pct / 100 * maxValue)
+		q := fmt.Sprintf("SELECT sum(col1) FROM t WHERE col1 < %d", cut)
+		random.CoolCache()
+		r, err := random.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sorted.CoolCache()
+		s, err := sorted.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f exec=%-9v read=%5.2fMB   exec=%-9v read=%5.2fMB\n",
+			pct,
+			r.Metrics.ExecTime.Round(1000), float64(r.Metrics.DataRead)/1e6,
+			s.Metrics.ExecTime.Round(1000), float64(s.Metrics.DataRead)/1e6)
+	}
+	fmt.Println("\npre-sorted segments have disjoint min/max ranges, so the")
+	fmt.Println("scanner skips whole rowgroups and reads orders of magnitude")
+	fmt.Println("less data at low selectivity.")
+}

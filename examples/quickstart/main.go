@@ -1,0 +1,78 @@
+// Quickstart: create a table, load rows, build both index kinds, run
+// queries, and inspect plans and metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybriddb"
+)
+
+func main() {
+	db := hybriddb.Open(hybriddb.WithRowGroupSize(4096))
+	exec := func(q string) *hybriddb.Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		return res
+	}
+
+	exec(`CREATE TABLE orders (
+		o_id BIGINT, o_customer BIGINT, o_amount DOUBLE, o_date DATE,
+		PRIMARY KEY (o_id))`)
+
+	// Load a few thousand orders.
+	for batch := 0; batch < 20; batch++ {
+		stmt := "INSERT INTO orders VALUES "
+		for i := 0; i < 250; i++ {
+			id := batch*250 + i
+			if i > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, %d, %d.50, '2017-%02d-%02d')",
+				id, id%97, 10+id%500, 1+id%12, 1+id%28)
+		}
+		exec(stmt)
+	}
+	fmt.Printf("loaded %d orders\n\n", db.TableRows("orders"))
+
+	// A selective lookup runs on the clustered B+ tree.
+	res := exec("SELECT o_amount FROM orders WHERE o_id = 4321")
+	fmt.Printf("point lookup: %v  (%s)\n", res.Rows[0][0], res.Metrics)
+
+	// Build a secondary columnstore: the same table now supports fast
+	// analytics too — a hybrid physical design.
+	exec("CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON orders")
+
+	res = exec("SELECT o_customer, sum(o_amount), count(*) FROM orders GROUP BY o_customer")
+	fmt.Printf("aggregate over %d customers  (%s)\n\n", len(res.Rows), res.Metrics)
+
+	// The optimizer chooses per query: seek for selective predicates,
+	// columnstore scan for the rest.
+	for _, q := range []string{
+		"SELECT sum(o_amount) FROM orders WHERE o_id < 10",
+		"SELECT sum(o_amount) FROM orders WHERE o_id < 4900",
+	} {
+		plan, err := db.Explain(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n%s", q, plan)
+	}
+
+	// Ask the advisor what this workload needs.
+	rec, err := db.Tune(hybriddb.Workload{
+		{SQL: "SELECT o_amount FROM orders WHERE o_customer = 11", Weight: 100},
+		{SQL: "SELECT sum(o_amount) FROM orders GROUP BY o_customer", Weight: 1},
+	}, hybriddb.TuneOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadvisor: %.1fx estimated improvement with %d more index(es)\n",
+		rec.Improvement(), len(rec.Indexes))
+	for i, ix := range rec.Indexes {
+		fmt.Println("  ", ix.DDL(fmt.Sprintf("rec_%d", i+1)))
+	}
+}

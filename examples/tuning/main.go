@@ -1,0 +1,91 @@
+// Tuning: run the design advisor (the paper's DTA extension) on a
+// TPC-H-style analytic workload and measure the improvement of its
+// hybrid recommendation over B+-tree-only and columnstore-only tuning.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hybriddb"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/workload"
+)
+
+func buildDB() *hybriddb.DB {
+	inner := workload.BuildTPCH(vclock.DefaultModel(vclock.DRAM), workload.TPCHConfig{
+		LineitemRows: 150_000, RowGroupSize: 1 << 13, Seed: 7,
+	})
+	return hybriddb.Wrap(inner)
+}
+
+func queries() hybriddb.Workload {
+	return hybriddb.Workload{
+		// Selective lookups (B+-tree-shaped).
+		{SQL: "SELECT o_totalprice FROM orders WHERE o_orderkey = 777", Weight: 50},
+		{SQL: "SELECT sum(l_extendedprice) FROM lineitem WHERE l_orderkey = 4242", Weight: 50},
+		// Analytic scans (columnstore-shaped).
+		{SQL: "SELECT o_orderpriority, count(*) FROM orders GROUP BY o_orderpriority"},
+		{SQL: workload.Q5Range(workload.ShipDate(100), workload.ShipDate(400))},
+		{SQL: `SELECT n_name, sum(s_acctbal) FROM supplier JOIN nation ON s_nationkey = n_nationkey GROUP BY n_name`},
+		// Updates keep the maintenance trade-off honest.
+		{SQL: workload.Q4(10, workload.ShipDate(700)), Weight: 20},
+	}
+}
+
+func measure(db *hybriddb.DB, w hybriddb.Workload) time.Duration {
+	var total time.Duration
+	for _, st := range w {
+		res, err := db.Exec(st.SQL)
+		if err != nil {
+			log.Fatalf("%s: %v", st.SQL, err)
+		}
+		weight := st.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		total += time.Duration(float64(res.Metrics.CPUTime) * weight)
+	}
+	return total
+}
+
+func main() {
+	w := queries()
+
+	type outcome struct {
+		name  string
+		rec   *hybriddb.Recommendation
+		total time.Duration
+	}
+	var results []outcome
+	for _, mode := range []struct {
+		name string
+		opts hybriddb.TuneOptions
+	}{
+		{"B+ tree only", hybriddb.TuneOptions{NoColumnstore: true}},
+		{"hybrid", hybriddb.TuneOptions{}},
+	} {
+		db := buildDB()
+		rec, err := db.TuneAndApply(w, mode.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, outcome{mode.name, rec, measure(db, w)})
+	}
+	// Untuned baseline.
+	base := measure(buildDB(), w)
+
+	fmt.Printf("weighted workload CPU cost (executed):\n")
+	fmt.Printf("  %-14s %v\n", "untuned", base.Round(time.Microsecond))
+	for _, r := range results {
+		fmt.Printf("  %-14s %v  (%.1fx vs untuned, %d indexes, est %.1f MB)\n",
+			r.name, r.total.Round(time.Microsecond),
+			float64(base)/float64(r.total), len(r.rec.Indexes),
+			float64(r.rec.TotalBytes)/1e6)
+	}
+	fmt.Println("\nhybrid recommendation:")
+	for i, ix := range results[1].rec.Indexes {
+		fmt.Println("  ", ix.DDL(fmt.Sprintf("dta_%d", i+1)))
+	}
+}

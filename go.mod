@@ -1,0 +1,3 @@
+module hybriddb
+
+go 1.24

@@ -1,0 +1,196 @@
+// Package hybriddb is a single-node SQL engine that supports hybrid
+// physical designs — B+ tree and columnstore indexes on the same
+// database and the same table — together with a physical design tuning
+// advisor that recommends the right combination for a workload. It is
+// a from-scratch Go reproduction of the system studied in "Columnstore
+// and B+ tree – Are Hybrid Physical Designs Important?" (SIGMOD 2018).
+//
+// Quick start:
+//
+//	db := hybriddb.Open()
+//	db.Exec(`CREATE TABLE t (id BIGINT, v BIGINT, PRIMARY KEY (id))`)
+//	db.Exec(`INSERT INTO t VALUES (1, 10), (2, 20)`)
+//	db.Exec(`CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON t`)
+//	res, _ := db.Query(`SELECT sum(v) FROM t WHERE id < 100`)
+//	fmt.Println(res.Rows, res.Metrics)
+//
+// Every statement execution returns Metrics — virtual execution time,
+// CPU time, data read, memory peak, and degree of parallelism — from
+// the engine's deterministic resource model (see DESIGN.md for how the
+// model stands in for the paper's hardware).
+//
+// The tuning advisor analyzes a workload of SQL statements and
+// recommends B+ tree and/or columnstore indexes:
+//
+//	rec, _ := db.Tune(hybriddb.Workload{{SQL: "SELECT ..."}}, hybriddb.TuneOptions{})
+//	rec.Apply(db.Internal())
+package hybriddb
+
+import (
+	"time"
+
+	"hybriddb/internal/advisor"
+	"hybriddb/internal/engine"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// Result is the outcome of one statement: output rows and columns for
+// queries, rows affected for DML, plus metrics and the executed plan.
+type Result = engine.Result
+
+// ExecOptions tune one statement execution (memory grant, baseline and
+// ablation switches).
+type ExecOptions = engine.ExecOptions
+
+// Metrics is the per-statement measurement surface.
+type Metrics = vclock.Metrics
+
+// Statement is one workload entry for the tuning advisor.
+type Statement = advisor.Statement
+
+// Workload is a weighted statement set for the tuning advisor.
+type Workload = advisor.Workload
+
+// TuneOptions configure the tuning advisor.
+type TuneOptions = advisor.Options
+
+// Recommendation is the advisor's output.
+type Recommendation = advisor.Recommendation
+
+// Value is a typed SQL scalar appearing in result rows.
+type Value = value.Value
+
+// Row is one result row.
+type Row = value.Row
+
+// DB is a database handle.
+type DB struct {
+	inner *engine.Database
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	model        *vclock.Model
+	poolBytes    int64
+	rowGroupSize int
+}
+
+// WithColdStorage prices data access against the paper's HDD profile;
+// combined with CoolCache it reproduces cold-run experiments. The
+// default is memory-resident (DRAM) pricing.
+func WithColdStorage() Option {
+	return func(c *config) { c.model = vclock.DefaultModel(vclock.HDD) }
+}
+
+// WithBufferPool bounds the buffer pool (bytes); 0 means unbounded.
+func WithBufferPool(bytes int64) Option {
+	return func(c *config) { c.poolBytes = bytes }
+}
+
+// WithRowGroupSize sets the columnstore rowgroup size used by indexes
+// created through SQL DDL.
+func WithRowGroupSize(rows int) Option {
+	return func(c *config) { c.rowGroupSize = rows }
+}
+
+// Open creates an empty database.
+func Open(opts ...Option) *DB {
+	cfg := config{model: vclock.DefaultModel(vclock.DRAM)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db := engine.New(cfg.model, cfg.poolBytes)
+	db.DefaultRowGroupSize = cfg.rowGroupSize
+	return &DB{inner: db}
+}
+
+// Wrap adapts an existing engine database (e.g. one produced by the
+// internal workload generators) into the public handle.
+func Wrap(inner *engine.Database) *DB { return &DB{inner: inner} }
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(sql string, opts ...ExecOptions) (*Result, error) {
+	return db.inner.Exec(sql, opts...)
+}
+
+// Query is Exec for readers who prefer the name.
+func (db *DB) Query(sql string, opts ...ExecOptions) (*Result, error) {
+	return db.inner.Exec(sql, opts...)
+}
+
+// Explain returns the optimizer's plan for a SELECT without running it.
+func (db *DB) Explain(sql string, opts ...ExecOptions) (string, error) {
+	var o ExecOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	root, _, err := db.inner.Plan(sql, o)
+	if err != nil {
+		return "", err
+	}
+	return engine.ExplainString(root), nil
+}
+
+// Tune runs the design advisor over the workload and returns its
+// recommendation; call rec.Apply(db.Internal()) to materialize it.
+func (db *DB) Tune(w Workload, opts TuneOptions) (*Recommendation, error) {
+	return advisor.Tune(db.inner, w, opts)
+}
+
+// TuneAndApply tunes and materializes the recommendation.
+func (db *DB) TuneAndApply(w Workload, opts TuneOptions) (*Recommendation, error) {
+	rec, err := advisor.Tune(db.inner, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Apply(db.inner); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// CoolCache evicts every page from the buffer pool (cold run).
+func (db *DB) CoolCache() { db.inner.Store().Cool() }
+
+// WarmCache makes every page resident (hot run).
+func (db *DB) WarmCache() { db.inner.Store().Prewarm() }
+
+// TupleMove runs columnstore background maintenance (delta compression
+// and delete-buffer compaction) on every table.
+func (db *DB) TupleMove() { db.inner.TupleMoveAll() }
+
+// TableRows returns a table's live row count, or -1 if absent.
+func (db *DB) TableRows(name string) int64 {
+	t := db.inner.Table(name)
+	if t == nil {
+		return -1
+	}
+	return t.RowCount()
+}
+
+// Internal exposes the underlying engine for advanced use (bulk loads,
+// direct table access, custom cost models).
+func (db *DB) Internal() *engine.Database { return db.inner }
+
+// PlanUsesColumnstore reports whether a SELECT's plan reads any
+// columnstore index — the plan-inspection hook behind the paper's
+// Figure 10.
+func (db *DB) PlanUsesColumnstore(sql string) (bool, error) {
+	root, _, err := db.inner.Plan(sql, ExecOptions{})
+	if err != nil {
+		return false, err
+	}
+	for _, k := range plan.LeafAccess(root.Input) {
+		if k == plan.AccessCSIScan {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Duration re-exports time.Duration for Metrics consumers.
+type Duration = time.Duration

@@ -1,0 +1,133 @@
+package hybriddb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db := Open(WithRowGroupSize(4096))
+	mustExec := func(q string) *Result {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		return res
+	}
+	mustExec("CREATE TABLE t (id BIGINT, v BIGINT, PRIMARY KEY (id))")
+	mustExec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+	res := mustExec("SELECT sum(v) FROM t WHERE id >= 2")
+	if res.Rows[0][0].Int() != 50 {
+		t.Fatalf("sum = %v", res.Rows[0][0])
+	}
+	if res.Metrics.CPUTime <= 0 {
+		t.Error("no metrics")
+	}
+	mustExec("CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON t")
+	if n := db.TableRows("t"); n != 3 {
+		t.Fatalf("rows = %d", n)
+	}
+	if db.TableRows("missing") != -1 {
+		t.Fatal("missing table rows")
+	}
+}
+
+func TestPublicExplainAndPlanInspection(t *testing.T) {
+	db := Open(WithRowGroupSize(2048))
+	db.Exec("CREATE TABLE f (a BIGINT, b BIGINT, PRIMARY KEY (a))")
+	rows := make([]string, 0, 200)
+	for i := 0; i < 200; i++ {
+		rows = append(rows, "(?, ?)")
+	}
+	_ = rows
+	for i := 0; i < 10; i++ {
+		if _, err := db.Exec("INSERT INTO f VALUES (" +
+			string(rune('0'+i)) + ", 1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := db.Explain("SELECT sum(b) FROM f WHERE a < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "Aggregate") {
+		t.Errorf("explain: %s", s)
+	}
+	uses, err := db.PlanUsesColumnstore("SELECT sum(b) FROM f WHERE a < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uses {
+		t.Error("no columnstore exists, plan cannot use one")
+	}
+	if _, err := db.Explain("INSERT INTO f VALUES (99, 1)"); err == nil {
+		t.Error("explain of DML should fail")
+	}
+}
+
+func TestPublicTuneAndApply(t *testing.T) {
+	db := Open(WithRowGroupSize(4096))
+	db.Exec("CREATE TABLE w (k BIGINT, g BIGINT, x DOUBLE, PRIMARY KEY (k))")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO w VALUES (0, 0, 1.0)")
+	for i := 1; i < 400; i++ {
+		sb.WriteString(", (")
+		sb.WriteString(itoa(i))
+		sb.WriteString(", ")
+		sb.WriteString(itoa(i % 7))
+		sb.WriteString(", 2.5)")
+	}
+	if _, err := db.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT g, sum(x) FROM w GROUP BY g"
+	rec, err := db.TuneAndApply(Workload{{SQL: q}}, TuneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Improvement() < 1 {
+		t.Errorf("improvement = %v", rec.Improvement())
+	}
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestCacheControls(t *testing.T) {
+	db := Open(WithColdStorage(), WithRowGroupSize(2048))
+	db.Exec("CREATE TABLE c (a BIGINT, PRIMARY KEY (a))")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO c VALUES (0)")
+	for i := 1; i < 2000; i++ {
+		sb.WriteString(", (")
+		sb.WriteString(itoa(i))
+		sb.WriteString(")")
+	}
+	db.Exec(sb.String())
+	db.CoolCache()
+	cold, _ := db.Query("SELECT count(*) FROM c")
+	db.WarmCache()
+	hot, _ := db.Query("SELECT count(*) FROM c")
+	if cold.Metrics.DataRead == 0 || hot.Metrics.DataRead != 0 {
+		t.Errorf("cold=%d hot=%d", cold.Metrics.DataRead, hot.Metrics.DataRead)
+	}
+	db.TupleMove() // no-op smoke
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,333 @@
+package advisor
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/engine"
+	"hybriddb/internal/table"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// analyticsDB builds a fact table with a clustered B+ tree primary:
+// f(id, dim, grp, val), 60k rows.
+func analyticsDB(t *testing.T) *engine.Database {
+	t.Helper()
+	db := engine.New(vclock.DefaultModel(vclock.DRAM), 0)
+	db.DefaultRowGroupSize = 8192
+	if _, err := db.Exec("CREATE TABLE f (id BIGINT, dim BIGINT, grp BIGINT, val DOUBLE, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]value.Row, 60000)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(rng.Int63n(25)),
+			value.NewFloat(rng.Float64() * 100),
+		}
+	}
+	db.Table("f").SetRowGroupSize(8192)
+	db.Table("f").BulkLoad(nil, rows)
+	return db
+}
+
+func TestRecommendsColumnstoreForAnalytics(t *testing.T) {
+	db := analyticsDB(t)
+	w := Workload{
+		{SQL: "SELECT grp, sum(val) FROM f GROUP BY grp"},
+		{SQL: "SELECT sum(val) FROM f WHERE dim < 900"},
+	}
+	rec, err := Tune(db, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasCSI bool
+	for _, p := range rec.Indexes {
+		if p.Columnstore {
+			hasCSI = true
+		}
+	}
+	if !hasCSI {
+		t.Fatalf("analytic workload did not get a columnstore: %+v", rec.Indexes)
+	}
+	if rec.Improvement() < 2 {
+		t.Errorf("improvement = %.2f, expected substantial", rec.Improvement())
+	}
+}
+
+func TestRecommendsBTreeForSelective(t *testing.T) {
+	db := analyticsDB(t)
+	w := Workload{
+		{SQL: "SELECT val FROM f WHERE dim = 7"},
+		{SQL: "SELECT val FROM f WHERE dim = 123"},
+	}
+	rec, err := Tune(db, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasBTreeOnDim bool
+	for _, p := range rec.Indexes {
+		if !p.Columnstore && len(p.Keys) > 0 && p.Keys[0] == "dim" {
+			hasBTreeOnDim = true
+		}
+	}
+	if !hasBTreeOnDim {
+		t.Fatalf("selective workload did not get a b+tree on dim: %+v", rec.Indexes)
+	}
+}
+
+func TestHybridForMixedWorkload(t *testing.T) {
+	db := analyticsDB(t)
+	w := Workload{
+		{SQL: "SELECT grp, sum(val) FROM f GROUP BY grp", Weight: 1},
+		{SQL: "SELECT val FROM f WHERE dim = 7", Weight: 50},
+		{SQL: "UPDATE TOP (5) f SET val += 1 WHERE dim = 9", Weight: 20},
+	}
+	rec, err := Tune(db, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csi, bt bool
+	for _, p := range rec.Indexes {
+		if p.Columnstore {
+			csi = true
+		} else {
+			bt = true
+		}
+	}
+	if !csi || !bt {
+		t.Fatalf("mixed workload should get hybrid design, got %+v", rec.Indexes)
+	}
+}
+
+func TestNoColumnstoreOption(t *testing.T) {
+	db := analyticsDB(t)
+	w := Workload{{SQL: "SELECT grp, sum(val) FROM f GROUP BY grp"}}
+	rec, err := Tune(db, w, Options{NoColumnstore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rec.Indexes {
+		if p.Columnstore {
+			t.Fatalf("NoColumnstore recommended a columnstore: %+v", p)
+		}
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	db := analyticsDB(t)
+	w := Workload{
+		{SQL: "SELECT grp, sum(val) FROM f GROUP BY grp"},
+		{SQL: "SELECT val FROM f WHERE dim = 7"},
+	}
+	unbounded, err := Tune(db, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := unbounded.TotalBytes / 4
+	if budget == 0 {
+		t.Skip("no bytes recommended")
+	}
+	bounded, err := Tune(db, w, Options{StorageBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.TotalBytes > budget {
+		t.Fatalf("budget %d exceeded: %d", budget, bounded.TotalBytes)
+	}
+}
+
+func TestApplyMaterializesAndSpeedsUp(t *testing.T) {
+	db := analyticsDB(t)
+	q := "SELECT grp, sum(val) FROM f GROUP BY grp"
+	before, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Tune(db, Workload{{SQL: q}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Indexes) == 0 {
+		t.Fatal("nothing recommended")
+	}
+	if err := rec.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	// No hypothetical leftovers.
+	for _, s := range db.Table("f").Secondaries {
+		if s.Hypothetical {
+			t.Fatalf("hypothetical index %s left installed", s.Name)
+		}
+	}
+	after, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows) {
+		t.Fatalf("results changed: %d vs %d groups", len(after.Rows), len(before.Rows))
+	}
+	if after.Metrics.CPUTime >= before.Metrics.CPUTime {
+		t.Errorf("tuned cpu %v should beat untuned %v", after.Metrics.CPUTime, before.Metrics.CPUTime)
+	}
+}
+
+func TestMaxIndexes(t *testing.T) {
+	db := analyticsDB(t)
+	w := Workload{
+		{SQL: "SELECT grp, sum(val) FROM f GROUP BY grp"},
+		{SQL: "SELECT val FROM f WHERE dim = 7"},
+		{SQL: "SELECT val FROM f WHERE grp = 3"},
+	}
+	rec, err := Tune(db, w, Options{MaxIndexes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Indexes) > 1 {
+		t.Fatalf("MaxIndexes=1 violated: %d", len(rec.Indexes))
+	}
+}
+
+func TestCSISizeEstimationAccuracy(t *testing.T) {
+	// Build tables with different compressibility; both estimators
+	// should land within a reasonable factor of the true size, and GEE
+	// must not blow up on low-cardinality columns (the n_nationkey
+	// motivating example in Section 4.4).
+	db := engine.New(vclock.DefaultModel(vclock.DRAM), 0)
+	if _, err := db.Exec("CREATE TABLE s (lowcard BIGINT, highcard BIGINT, txt VARCHAR(16), PRIMARY KEY (highcard))"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	rows := make([]value.Row, 40000)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(rng.Int63n(25)),
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("str%d", rng.Int63n(40))),
+		}
+	}
+	tb := db.Table("s")
+	tb.SetRowGroupSize(8192)
+	tb.BulkLoad(nil, rows)
+
+	// Ground truth: materialize the CSI.
+	sec := tb.AddSecondaryCSI(nil, "truth")
+	for _, method := range []SizeMethod{SizeBlackBox, SizeGEE} {
+		_, perCol := EstimateCSISize(tb, method, 3)
+		for c := 0; c < tb.Schema.Len(); c++ {
+			actual := sec.CSI.ColumnBytes(c)
+			est := perCol[c]
+			if actual == 0 {
+				continue
+			}
+			ratio := float64(est) / float64(actual)
+			if ratio < 0.1 || ratio > 10 {
+				t.Errorf("%v column %s: est %d vs actual %d (ratio %.2f)",
+					method, tb.Schema.Columns[c].Name, est, actual, ratio)
+			}
+		}
+	}
+	// GEE specifically must not overestimate the low-cardinality column
+	// the way naive linear scaling would.
+	_, gee := EstimateCSISize(tb, SizeGEE, 3)
+	actualLow := sec.CSI.ColumnBytes(0)
+	if gee[0] > actualLow*8 {
+		t.Errorf("GEE low-card estimate %d vs actual %d", gee[0], actualLow)
+	}
+}
+
+func TestEstimateBTreeSize(t *testing.T) {
+	db := analyticsDB(t)
+	tb := db.Table("f")
+	est := EstimateBTreeSize(tb, []int{1}, []int{3})
+	sec := tb.AddSecondaryBTree(nil, "real", []int{1}, []int{3})
+	actual := sec.Tree.Bytes()
+	ratio := float64(est) / float64(actual)
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("btree size est %d vs actual %d (ratio %.2f)", est, actual, ratio)
+	}
+	_ = table.PrimaryHeap
+}
+
+func TestTuneErrors(t *testing.T) {
+	db := analyticsDB(t)
+	if _, err := Tune(db, Workload{{SQL: "SELECT nope FROM f"}}, Options{}); err == nil {
+		t.Error("bad column accepted")
+	}
+	if _, err := Tune(db, Workload{{SQL: "garbage"}}, Options{}); err == nil {
+		t.Error("bad sql accepted")
+	}
+}
+
+func TestSortedColumnstoreCandidates(t *testing.T) {
+	// The Section 4.5 extension: with range-heavy queries, enabling
+	// sorted-columnstore candidates should produce a sorted CSI whose
+	// DDL carries the sort column.
+	db := analyticsDB(t)
+	w := Workload{
+		{SQL: "SELECT sum(val) FROM f WHERE dim < 20"},
+		{SQL: "SELECT sum(val) FROM f WHERE dim < 50"},
+		{SQL: "SELECT grp, sum(val) FROM f WHERE dim < 100 GROUP BY grp"},
+	}
+	rec, err := Tune(db, w, Options{SortedColumnstores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sorted *ProposedIndex
+	for i := range rec.Indexes {
+		if rec.Indexes[i].Columnstore && len(rec.Indexes[i].SortColumns) > 0 {
+			sorted = &rec.Indexes[i]
+		}
+	}
+	if sorted == nil {
+		t.Skip("advisor preferred another design at this scale")
+	}
+	if sorted.SortColumns[0] != "dim" {
+		t.Fatalf("sort column = %v", sorted.SortColumns)
+	}
+	ddl := sorted.DDL("scsi")
+	if !strings.Contains(ddl, "(dim)") {
+		t.Fatalf("ddl = %s", ddl)
+	}
+	if err := rec.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT sum(val) FROM f WHERE dim < 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatal("query failed after applying sorted CSI")
+	}
+}
+
+func TestWeightsSteerRecommendation(t *testing.T) {
+	// The same two statements with opposite weights should flip which
+	// index the advisor values most.
+	scan := "SELECT grp, sum(val) FROM f GROUP BY grp"
+	seek := "SELECT val FROM f WHERE dim = 7"
+	rec := func(scanW, seekW float64) *Recommendation {
+		db := analyticsDB(t)
+		r, err := Tune(db, Workload{
+			{SQL: scan, Weight: scanW},
+			{SQL: seek, Weight: seekW},
+		}, Options{MaxIndexes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	scanHeavy := rec(1000, 1)
+	seekHeavy := rec(1, 1000)
+	if len(scanHeavy.Indexes) != 1 || !scanHeavy.Indexes[0].Columnstore {
+		t.Errorf("scan-heavy pick: %+v", scanHeavy.Indexes)
+	}
+	if len(seekHeavy.Indexes) != 1 || seekHeavy.Indexes[0].Columnstore {
+		t.Errorf("seek-heavy pick: %+v", seekHeavy.Indexes)
+	}
+}

@@ -1,0 +1,349 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hybriddb/internal/storage"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+func intKey(i int64) value.Row  { return value.Row{value.NewInt(i)} }
+func payload(i int64) value.Row { return value.Row{value.NewInt(i), value.NewString("p")} }
+
+func collect(t *Tree) []int64 {
+	var out []int64
+	for it := t.First(nil); it.Valid(); it.Next() {
+		out = append(out, it.Key()[0].Int())
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	if tr.Count() != 0 || tr.Height() != 1 {
+		t.Fatalf("count=%d height=%d", tr.Count(), tr.Height())
+	}
+	if it := tr.First(nil); it.Valid() {
+		t.Fatal("iterator valid on empty tree")
+	}
+	if it := tr.Seek(nil, intKey(5)); it.Valid() {
+		t.Fatal("seek valid on empty tree")
+	}
+	if tr.Delete(nil, intKey(5), nil) {
+		t.Fatal("delete on empty tree")
+	}
+}
+
+func TestInsertAndIterateSorted(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	perm := rng.Perm(n)
+	for _, v := range perm {
+		tr.Insert(nil, intKey(int64(v)), payload(int64(v)))
+	}
+	if tr.Count() != n {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d, expected a multi-level tree", tr.Height())
+	}
+	got := collect(tr)
+	if len(got) != n {
+		t.Fatalf("iterated %d", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("position %d = %d", i, v)
+		}
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	for i := 0; i < 1000; i++ {
+		tr.Insert(nil, intKey(int64(i*10)), payload(int64(i*10)))
+	}
+	cases := []struct{ seek, want int64 }{
+		{0, 0}, {5, 10}, {10, 10}, {9994, 0}, {-50, 0}, {9990, 9990},
+	}
+	for _, c := range cases {
+		it := tr.Seek(nil, intKey(c.seek))
+		if c.seek > 9990 {
+			if it.Valid() {
+				t.Errorf("seek(%d) should be exhausted", c.seek)
+			}
+			continue
+		}
+		if !it.Valid() || it.Key()[0].Int() != c.want {
+			t.Errorf("seek(%d) = %v, want %d", c.seek, it, c.want)
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	// Enough duplicates to force splits inside a run of equal keys.
+	for i := 0; i < 3000; i++ {
+		tr.Insert(nil, intKey(42), value.Row{value.NewInt(int64(i))})
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(nil, intKey(41), value.Row{value.NewInt(int64(-i))})
+		tr.Insert(nil, intKey(43), value.Row{value.NewInt(int64(1000000 + i))})
+	}
+	it := tr.Seek(nil, intKey(42))
+	count := 0
+	seen := make(map[int64]bool)
+	for ; it.Valid() && it.Key()[0].Int() == 42; it.Next() {
+		count++
+		seen[it.Row()[0].Int()] = true
+	}
+	if count != 3000 {
+		t.Fatalf("found %d duplicates, want 3000", count)
+	}
+	if len(seen) != 3000 {
+		t.Fatalf("distinct payloads = %d", len(seen))
+	}
+	// Delete one specific duplicate by payload.
+	if !tr.Delete(nil, intKey(42), func(r value.Row) bool { return r[0].Int() == 1500 }) {
+		t.Fatal("targeted delete failed")
+	}
+	if tr.Delete(nil, intKey(42), func(r value.Row) bool { return r[0].Int() == 1500 }) {
+		t.Fatal("double targeted delete succeeded")
+	}
+	if tr.Count() != 3000+200-1 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert(nil, intKey(int64(i)), payload(int64(i)))
+	}
+	rng := rand.New(rand.NewSource(3))
+	order := rng.Perm(n)
+	for _, v := range order {
+		if !tr.Delete(nil, intKey(int64(v)), nil) {
+			t.Fatalf("delete %d failed", v)
+		}
+	}
+	if tr.Count() != 0 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	if it := tr.First(nil); it.Valid() {
+		t.Fatal("iterator valid after deleting everything")
+	}
+	// Tree still usable.
+	tr.Insert(nil, intKey(1), payload(1))
+	if got := collect(tr); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after reinsert: %v", got)
+	}
+}
+
+func TestModify(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	tr.Insert(nil, intKey(1), value.Row{value.NewInt(10)})
+	tr.Insert(nil, intKey(1), value.Row{value.NewInt(20)})
+	ok := tr.Modify(nil, intKey(1),
+		func(r value.Row) bool { return r[0].Int() == 20 },
+		func(r value.Row) value.Row { return value.Row{value.NewInt(99)} })
+	if !ok {
+		t.Fatal("modify failed")
+	}
+	var got []int64
+	for it := tr.Seek(nil, intKey(1)); it.Valid(); it.Next() {
+		got = append(got, it.Row()[0].Int())
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 10 || got[1] != 99 {
+		t.Fatalf("payloads = %v", got)
+	}
+	if tr.Modify(nil, intKey(2), nil, func(r value.Row) value.Row { return r }) {
+		t.Fatal("modify of absent key succeeded")
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 10; j++ {
+			k := value.Row{value.NewInt(int64(i)), value.NewString(string(rune('a' + j)))}
+			tr.Insert(nil, k, value.Row{value.NewInt(int64(i*10 + j))})
+		}
+	}
+	// Partial-key seek: prefix (50) lands on (50, "a").
+	it := tr.Seek(nil, intKey(50))
+	if !it.Valid() || it.Key()[0].Int() != 50 || it.Key()[1].Str() != "a" {
+		t.Fatalf("partial seek got %v", it.Key())
+	}
+	// Full composite seek.
+	it = tr.Seek(nil, value.Row{value.NewInt(50), value.NewString("d")})
+	if !it.Valid() || it.Row()[0].Int() != 503 {
+		t.Fatalf("composite seek got %v", it.Row())
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	st := storage.NewStore(0)
+	const n = 30000
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: intKey(int64(i)), Row: payload(int64(i))}
+	}
+	bl := New(st)
+	bl.BulkLoad(nil, items)
+	if bl.Count() != n {
+		t.Fatalf("count = %d", bl.Count())
+	}
+	got := collect(bl)
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("position %d = %d", i, v)
+		}
+	}
+	// Seeks work on a bulk-loaded tree.
+	it := bl.Seek(nil, intKey(12345))
+	if !it.Valid() || it.Key()[0].Int() != 12345 {
+		t.Fatal("seek on bulk-loaded tree failed")
+	}
+	// Bulk-loaded trees are denser than insert-built trees.
+	ins := New(st)
+	for i := range items {
+		ins.Insert(nil, items[i].Key, items[i].Row)
+	}
+	if bl.Bytes() >= ins.Bytes() {
+		t.Errorf("bulk %d bytes should be denser than insert %d", bl.Bytes(), ins.Bytes())
+	}
+	// Inserts after bulk load keep working.
+	bl.BulkLoadAppendCheck(t)
+}
+
+// BulkLoadAppendCheck inserts around the bulk-loaded keys and verifies
+// ordering still holds. Defined on Tree for test reuse.
+func (t *Tree) BulkLoadAppendCheck(tt *testing.T) {
+	before := t.Count()
+	t.Insert(nil, intKey(-1), payload(-1))
+	t.Insert(nil, intKey(1<<40), payload(0))
+	if t.Count() != before+2 {
+		tt.Fatalf("count after post-bulk inserts = %d", t.Count())
+	}
+	it := t.First(nil)
+	if it.Key()[0].Int() != -1 {
+		tt.Fatal("smallest key wrong after post-bulk insert")
+	}
+}
+
+func TestBulkLoadEmptyAndPanics(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	tr.BulkLoad(nil, nil) // no-op
+	if tr.Count() != 0 {
+		t.Fatal("bulk load of nothing changed count")
+	}
+	tr.Insert(nil, intKey(1), payload(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BulkLoad on non-empty tree did not panic")
+		}
+	}()
+	tr.BulkLoad(nil, []Item{{Key: intKey(2), Row: payload(2)}})
+}
+
+func TestSeekChargesIOAndCPU(t *testing.T) {
+	st := storage.NewStore(0)
+	tr := New(st)
+	for i := 0; i < 50000; i++ {
+		tr.Insert(nil, intKey(int64(i)), payload(int64(i)))
+	}
+	st.Cool()
+	m := vclock.DefaultModel(vclock.HDD)
+	tk := vclock.NewTracker(m)
+	it := tr.Seek(tk, intKey(25000))
+	if !it.Valid() {
+		t.Fatal("seek failed")
+	}
+	if tk.PagesRead < int64(tr.Height()) {
+		t.Errorf("pages read = %d, height = %d", tk.PagesRead, tr.Height())
+	}
+	if tk.RandIO == 0 {
+		t.Error("cold seek charged no random IO")
+	}
+	if tk.CPUTime() < m.SeekCPU {
+		t.Error("seek charged no CPU")
+	}
+	// Hot seek: no IO.
+	tk2 := vclock.NewTracker(m)
+	tr.Seek(tk2, intKey(25000))
+	if tk2.RandIO != 0 {
+		t.Errorf("hot seek charged IO: %v", tk2.RandIO)
+	}
+}
+
+func TestRangeScanSequentialAfterSeek(t *testing.T) {
+	st := storage.NewStore(0)
+	tr := New(st)
+	const n = 50000
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: intKey(int64(i)), Row: payload(int64(i))}
+	}
+	tr.BulkLoad(nil, items)
+	st.Cool()
+	m := vclock.DefaultModel(vclock.HDD)
+	tk := vclock.NewTracker(m)
+	it := tr.Seek(tk, intKey(1000))
+	count := 0
+	for it.Valid() && it.Key()[0].Int() < 40000 {
+		count++
+		it.Next()
+	}
+	if count != 39000 {
+		t.Fatalf("scanned %d", count)
+	}
+	if tk.SeqIO == 0 {
+		t.Error("leaf chain scan charged no sequential IO")
+	}
+}
+
+// TestRandomisedAgainstReference cross-checks a workload of random
+// inserts and deletes against a sorted-slice reference model.
+func TestRandomisedAgainstReference(t *testing.T) {
+	tr := New(storage.NewStore(0))
+	ref := map[int64]int{} // key -> multiplicity
+	rng := rand.New(rand.NewSource(11))
+	for op := 0; op < 30000; op++ {
+		k := rng.Int63n(500)
+		if rng.Intn(3) != 0 {
+			tr.Insert(nil, intKey(k), value.Row{value.NewInt(k)})
+			ref[k]++
+		} else {
+			removed := tr.Delete(nil, intKey(k), nil)
+			if removed != (ref[k] > 0) {
+				t.Fatalf("op %d: delete(%d) = %v, ref count %d", op, k, removed, ref[k])
+			}
+			if removed {
+				ref[k]--
+			}
+		}
+	}
+	var want []int64
+	for k, c := range ref {
+		for i := 0; i < c; i++ {
+			want = append(want, k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := collect(tr)
+	if len(got) != len(want) {
+		t.Fatalf("len got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package btree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybriddb/internal/storage"
+	"hybriddb/internal/value"
+)
+
+// TestInsertIterateQuick: for arbitrary key multisets, iteration must
+// return exactly the inserted multiset in sorted order.
+func TestInsertIterateQuick(t *testing.T) {
+	f := func(keys []int64) bool {
+		tr := New(storage.NewStore(0))
+		want := map[int64]int{}
+		for _, k := range keys {
+			tr.Insert(nil, value.Row{value.NewInt(k)}, value.Row{value.NewInt(k)})
+			want[k]++
+		}
+		var prev int64
+		first := true
+		count := 0
+		for it := tr.First(nil); it.Valid(); it.Next() {
+			k := it.Key()[0].Int()
+			if !first && k < prev {
+				return false // order violated
+			}
+			prev, first = k, false
+			want[k]--
+			count++
+		}
+		if count != len(keys) {
+			return false
+		}
+		for _, c := range want {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeekLowerBoundQuick: Seek(k) must land on the smallest key >= k.
+func TestSeekLowerBoundQuick(t *testing.T) {
+	f := func(keys []int64, probe int64) bool {
+		tr := New(storage.NewStore(0))
+		var wantKey int64
+		found := false
+		for _, k := range keys {
+			tr.Insert(nil, value.Row{value.NewInt(k)}, value.Row{})
+			if k >= probe && (!found || k < wantKey) {
+				wantKey, found = k, true
+			}
+		}
+		it := tr.Seek(nil, value.Row{value.NewInt(probe)})
+		if !found {
+			return !it.Valid()
+		}
+		return it.Valid() && it.Key()[0].Int() == wantKey
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertDeleteCountQuick: the count invariant holds under
+// arbitrary insert/delete interleavings.
+func TestInsertDeleteCountQuick(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := New(storage.NewStore(0))
+		ref := map[int64]int{}
+		var refCount int64
+		for _, op := range ops {
+			k := int64(op) / 2
+			if op%2 == 0 {
+				tr.Insert(nil, value.Row{value.NewInt(k)}, value.Row{})
+				ref[k]++
+				refCount++
+			} else {
+				removed := tr.Delete(nil, value.Row{value.NewInt(k)}, nil)
+				if removed != (ref[k] > 0) {
+					return false
+				}
+				if removed {
+					ref[k]--
+					refCount--
+				}
+			}
+		}
+		return tr.Count() == refCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

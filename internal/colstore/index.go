@@ -1,0 +1,417 @@
+package colstore
+
+import (
+	"fmt"
+	"sort"
+
+	"hybriddb/internal/btree"
+	"hybriddb/internal/storage"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// DefaultRowGroupSize is the maximum rows per compressed rowgroup
+// (SQL Server compresses up to 2^20 rows per group).
+const DefaultRowGroupSize = 1 << 20
+
+// Config describes a columnstore index to build.
+type Config struct {
+	// Schema of the rows stored in the index (all table columns for a
+	// primary CSI, the indexed subset for a secondary CSI).
+	Schema *value.Schema
+	// Primary selects the primary-columnstore update path: deletes go
+	// straight to the delete bitmap (requiring a scan to locate the
+	// row), and there is no delete buffer. Secondary indexes buffer
+	// deletes by logical key and anti-semi join them at scan time.
+	Primary bool
+	// KeyOrdinals are the base table's logical key columns within
+	// Schema; required for secondary indexes (the delete buffer stores
+	// these), ignored for primary.
+	KeyOrdinals []int
+	// RowGroupSize caps rows per compressed rowgroup. Defaults to
+	// DefaultRowGroupSize.
+	RowGroupSize int
+	// NoGroupSort disables the greedy fewest-distinct-first column sort
+	// inside each rowgroup that maximizes run lengths (Figure 8); the
+	// sort is on by default. Build order across rowgroups always follows
+	// input order, so pre-sorted input yields disjoint segment ranges
+	// and aggressive segment elimination (Section 3.2.1).
+	NoGroupSort bool
+	// SortColumns, when set, globally pre-sorts the build input by the
+	// given ordinals before compression — the Vertica-projection-style
+	// sorted columnstore the paper sketches as a future extension
+	// (Section 4.5). Rows arriving later through the delta store are
+	// compressed in arrival order, so the sort (and its elimination
+	// benefit) degrades under heavy updates, as the paper cautions.
+	SortColumns []int
+}
+
+// Locator addresses a row in the compressed portion of the index, or a
+// delta-store row when Delta is true.
+type Locator struct {
+	Group int32
+	Row   int32
+	Delta bool
+	Seq   int64
+}
+
+type rowGroup struct {
+	n        int
+	segIDs   []storage.PageID // one per column
+	mins     []value.Value
+	maxs     []value.Value
+	colBytes []int64
+	deleted  []uint64 // delete bitmap
+	ndel     int
+}
+
+func (g *rowGroup) isDeleted(i int) bool {
+	return g.deleted != nil && g.deleted[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (g *rowGroup) markDeleted(i int) bool {
+	if g.deleted == nil {
+		g.deleted = make([]uint64, (g.n+63)/64)
+	}
+	if g.deleted[i/64]&(1<<(uint(i)%64)) != 0 {
+		return false
+	}
+	g.deleted[i/64] |= 1 << (uint(i) % 64)
+	g.ndel++
+	return true
+}
+
+// Index is a columnstore index.
+type Index struct {
+	store   *storage.Store
+	cfg     Config
+	groups  []*rowGroup
+	delta   *btree.Tree // seq -> row
+	seq     int64
+	delBuf  *btree.Tree // logical key -> nothing (secondary only)
+	nBuf    int
+	nLive   int64 // live rows (compressed - deleted - buffered + delta)
+	nTotal  int64 // compressed rows incl. deleted
+	sortOrd []int // greedy sort order used within groups (diagnostics)
+}
+
+// Build creates a columnstore index over rows, compressing them in
+// input order into rowgroups. The tracker (may be nil) is charged the
+// build cost.
+func Build(store *storage.Store, cfg Config, rows []value.Row, tr *vclock.Tracker) *Index {
+	if cfg.RowGroupSize <= 0 {
+		cfg.RowGroupSize = DefaultRowGroupSize
+	}
+	if !cfg.Primary && len(cfg.KeyOrdinals) == 0 {
+		panic("colstore: secondary index requires KeyOrdinals")
+	}
+	x := &Index{store: store, cfg: cfg, delta: btree.New(store)}
+	if !cfg.Primary {
+		x.delBuf = btree.New(store)
+	}
+	if len(cfg.SortColumns) > 0 && len(rows) > 0 {
+		sorted := append([]value.Row(nil), rows...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return value.CompareRows(sorted[i], sorted[j], cfg.SortColumns) < 0
+		})
+		rows = sorted
+	}
+	x.appendGroups(rows, tr)
+	return x
+}
+
+// Schema returns the index's column schema.
+func (x *Index) Schema() *value.Schema { return x.cfg.Schema }
+
+// Primary reports whether this is a primary columnstore.
+func (x *Index) Primary() bool { return x.cfg.Primary }
+
+// Groups returns the number of compressed rowgroups.
+func (x *Index) Groups() int { return len(x.groups) }
+
+// Rows returns the number of live rows.
+func (x *Index) Rows() int64 { return x.nLive }
+
+// DeltaRows returns the number of rows in the delta store.
+func (x *Index) DeltaRows() int64 { return x.delta.Count() }
+
+// BufferedDeletes returns the number of entries in the delete buffer.
+func (x *Index) BufferedDeletes() int { return x.nBuf }
+
+// DeletedBitmapRows returns the number of rows marked in delete bitmaps.
+func (x *Index) DeletedBitmapRows() int {
+	n := 0
+	for _, g := range x.groups {
+		n += g.ndel
+	}
+	return n
+}
+
+// SortOrder returns the greedy within-group column sort order chosen at
+// the last compression, or nil.
+func (x *Index) SortOrder() []int { return x.sortOrd }
+
+// SortColumns returns the global build sort order, or nil.
+func (x *Index) SortColumns() []int { return x.cfg.SortColumns }
+
+// appendGroups compresses rows into new rowgroups (plus delta remainder
+// handled by caller when appropriate; here every row is compressed).
+func (x *Index) appendGroups(rows []value.Row, tr *vclock.Tracker) {
+	for start := 0; start < len(rows); start += x.cfg.RowGroupSize {
+		end := start + x.cfg.RowGroupSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		x.compressGroup(rows[start:end], tr)
+	}
+}
+
+// compressGroup builds one rowgroup from chunk.
+func (x *Index) compressGroup(chunk []value.Row, tr *vclock.Tracker) {
+	if len(chunk) == 0 {
+		return
+	}
+	ncols := x.cfg.Schema.Len()
+	if !x.cfg.NoGroupSort {
+		chunk = x.sortForCompression(chunk)
+	}
+	g := &rowGroup{
+		n:        len(chunk),
+		segIDs:   make([]storage.PageID, ncols),
+		mins:     make([]value.Value, ncols),
+		maxs:     make([]value.Value, ncols),
+		colBytes: make([]int64, ncols),
+	}
+	col := make([]value.Value, len(chunk))
+	var written int64
+	for c := 0; c < ncols; c++ {
+		for i, r := range chunk {
+			col[i] = r[c]
+		}
+		seg := buildSegment(x.cfg.Schema.Columns[c].Kind, col)
+		g.segIDs[c] = x.store.Allocate(seg)
+		g.mins[c], g.maxs[c] = seg.min, seg.max
+		g.colBytes[c] = seg.bytes
+		written += seg.bytes
+	}
+	x.groups = append(x.groups, g)
+	x.nTotal += int64(len(chunk))
+	x.nLive += int64(len(chunk))
+	if tr != nil {
+		// Compression cost: a sort plus encoding passes per column.
+		n := int64(len(chunk))
+		tr.ChargeParallelCPU(vclock.CPU(n*int64(ncols), tr.Model.RowCPU/4), 1.0)
+		tr.ChargeDataWrite(written, 1)
+	}
+}
+
+// sortForCompression orders the chunk's columns greedily by ascending
+// distinct count and sorts rows lexicographically in that column order,
+// mimicking the VertiPaq strategy of Figure 8.
+func (x *Index) sortForCompression(chunk []value.Row) []value.Row {
+	ncols := x.cfg.Schema.Len()
+	type colCard struct {
+		ord      int
+		distinct int
+	}
+	cards := make([]colCard, ncols)
+	for c := 0; c < ncols; c++ {
+		seen := make(map[string]struct{}, 256)
+		var buf []byte
+		for _, r := range chunk {
+			buf = value.EncodeKey(buf[:0], r[c])
+			if _, ok := seen[string(buf)]; !ok {
+				seen[string(buf)] = struct{}{}
+			}
+		}
+		cards[c] = colCard{ord: c, distinct: len(seen)}
+	}
+	sort.SliceStable(cards, func(i, j int) bool { return cards[i].distinct < cards[j].distinct })
+	ord := make([]int, ncols)
+	for i, cc := range cards {
+		ord[i] = cc.ord
+	}
+	x.sortOrd = ord
+	sorted := append([]value.Row(nil), chunk...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return value.CompareRows(sorted[i], sorted[j], ord) < 0
+	})
+	return sorted
+}
+
+// Insert adds one row to the delta store (trickle insert). When the
+// delta store reaches the rowgroup size, the tuple mover compresses it
+// in the background (uncharged, as in the real engine where statement
+// latency does not include background compression).
+func (x *Index) Insert(tr *vclock.Tracker, row value.Row) Locator {
+	x.seq++
+	x.delta.Insert(tr, value.Row{value.NewInt(x.seq)}, row)
+	x.nLive++
+	loc := Locator{Delta: true, Seq: x.seq}
+	if x.delta.Count() >= int64(x.cfg.RowGroupSize) {
+		x.TupleMove(nil)
+	}
+	return loc
+}
+
+// BulkInsert adds rows, compressing directly into rowgroups when the
+// batch reaches the rowgroup size (bulk load path) and spilling the
+// remainder to the delta store.
+func (x *Index) BulkInsert(tr *vclock.Tracker, rows []value.Row) {
+	full := (len(rows) / x.cfg.RowGroupSize) * x.cfg.RowGroupSize
+	x.appendGroups(rows[:full], tr)
+	for _, r := range rows[full:] {
+		x.Insert(tr, r)
+	}
+}
+
+// DeleteAt marks the row at loc deleted. Compressed rows go to the
+// delete bitmap; delta rows are removed from the delta store. Callers
+// on the primary path must have located the row via a scan, which is
+// where the paper's primary-CSI delete cost comes from.
+func (x *Index) DeleteAt(tr *vclock.Tracker, loc Locator) bool {
+	if loc.Delta {
+		if x.delta.Delete(tr, value.Row{value.NewInt(loc.Seq)}, nil) {
+			x.nLive--
+			return true
+		}
+		return false
+	}
+	if int(loc.Group) >= len(x.groups) {
+		return false
+	}
+	g := x.groups[loc.Group]
+	if int(loc.Row) >= g.n || !g.markDeleted(int(loc.Row)) {
+		return false
+	}
+	if tr != nil {
+		tr.ChargeSerialCPU(vclock.CPU(1, tr.Model.RowCPU))
+		tr.ChargeDataWrite(8, 0)
+	}
+	x.nLive--
+	return true
+}
+
+// BufferDelete records a logical delete by key in the delete buffer
+// (secondary indexes only). The row stays physically present until the
+// tuple mover compacts the buffer; scans anti-semi join against it.
+func (x *Index) BufferDelete(tr *vclock.Tracker, key value.Row) {
+	if x.cfg.Primary {
+		panic("colstore: BufferDelete on primary index")
+	}
+	x.delBuf.Insert(tr, key, nil)
+	x.nBuf++
+	x.nLive--
+}
+
+// Seq returns the current delta sequence (diagnostics).
+func (x *Index) Seq() int64 { return x.seq }
+
+// TupleMove runs the background maintenance the paper describes:
+// compress the delta store into rowgroups and compact the delete
+// buffer into delete bitmaps. It is charged to tr (nil = free,
+// modelling background work outside the measured query).
+func (x *Index) TupleMove(tr *vclock.Tracker) {
+	// Compress delta store.
+	if x.delta.Count() > 0 {
+		rows := make([]value.Row, 0, x.delta.Count())
+		for it := x.delta.First(tr); it.Valid(); it.Next() {
+			rows = append(rows, it.Row())
+		}
+		x.nLive -= int64(len(rows)) // appendGroups re-adds
+		x.appendGroups(rows, tr)
+		x.delta = btree.New(x.store)
+	}
+	// Compact delete buffer into bitmaps.
+	if x.nBuf > 0 {
+		keys := make(map[string]int, x.nBuf)
+		var buf []byte
+		for it := x.delBuf.First(tr); it.Valid(); it.Next() {
+			buf = value.EncodeKey(buf[:0], it.Key()...)
+			keys[string(buf)]++
+		}
+		for _, g := range x.groups {
+			if len(keys) == 0 {
+				break
+			}
+			segs := make([]*segment, len(x.cfg.KeyOrdinals))
+			for ki, ko := range x.cfg.KeyOrdinals {
+				segs[ki] = x.store.Get(tr, g.segIDs[ko], true).(*segment)
+			}
+			for i := 0; i < g.n; i++ {
+				if g.isDeleted(i) {
+					continue
+				}
+				buf = buf[:0]
+				for _, seg := range segs {
+					buf = value.EncodeKey(buf, seg.valueAt(i))
+				}
+				if c, ok := keys[string(buf)]; ok {
+					g.markDeleted(i)
+					if c == 1 {
+						delete(keys, string(buf))
+					} else {
+						keys[string(buf)] = c - 1
+					}
+				}
+			}
+		}
+		// Live count is unchanged: BufferDelete already subtracted the
+		// logically deleted rows; the bitmap now carries them instead.
+		x.delBuf = btree.New(x.store)
+		x.nBuf = 0
+	}
+}
+
+// Bytes returns the index's total on-disk size: compressed segments,
+// delete bitmaps, delta store, and delete buffer.
+func (x *Index) Bytes() int64 {
+	var total int64
+	for _, g := range x.groups {
+		for _, id := range g.segIDs {
+			total += x.store.SizeOf(id)
+		}
+		total += int64(len(g.deleted) * 8)
+	}
+	total += x.delta.Bytes()
+	if x.delBuf != nil {
+		total += x.delBuf.Bytes()
+	}
+	return total
+}
+
+// ColumnBytes returns the compressed size of one column across all
+// rowgroups — the per-column size the what-if optimizer needs
+// (Section 4.2).
+func (x *Index) ColumnBytes(col int) int64 {
+	var total int64
+	for _, g := range x.groups {
+		total += g.colBytes[col]
+	}
+	return total
+}
+
+// GroupStats describes one rowgroup (diagnostics and tests).
+type GroupStats struct {
+	Rows     int
+	Deleted  int
+	Min, Max []value.Value
+	Bytes    int64
+}
+
+// GroupStat returns stats for rowgroup i.
+func (x *Index) GroupStat(i int) GroupStats {
+	g := x.groups[i]
+	var b int64
+	for _, cb := range g.colBytes {
+		b += cb
+	}
+	return GroupStats{Rows: g.n, Deleted: g.ndel, Min: g.mins, Max: g.maxs, Bytes: b}
+}
+
+func (l Locator) String() string {
+	if l.Delta {
+		return fmt.Sprintf("delta(%d)", l.Seq)
+	}
+	return fmt.Sprintf("(%d:%d)", l.Group, l.Row)
+}

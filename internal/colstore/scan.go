@@ -1,0 +1,375 @@
+package colstore
+
+import (
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/vec"
+)
+
+// ScanSpec configures a columnstore scan.
+type ScanSpec struct {
+	// Cols are the index-schema ordinals to decode. Nil means all.
+	Cols []int
+	// PruneCol, when >= 0, names a column with a range predicate
+	// [Lo, Hi] (inclusive; a Null bound is open) used for segment
+	// elimination via rowgroup min/max metadata.
+	PruneCol int
+	Lo, Hi   value.Value
+	// SkipDelta omits delta-store rows (used by maintenance scans).
+	SkipDelta bool
+}
+
+// Scanner iterates an index in batches. Usage:
+//
+//	sc := idx.NewScanner(tr, spec)
+//	for sc.Next() {
+//	    b := sc.Batch()          // decoded columns, spec.Cols order
+//	    locs := sc.Locators()    // physical locator per live row
+//	}
+type Scanner struct {
+	x    *Index
+	tr   *vclock.Tracker
+	spec ScanSpec
+	cols []int
+
+	gi       int // next rowgroup
+	offset   int // next row within current group (batched)
+	curGroup *rowGroup
+	segs     []*segment
+
+	deltaIt    deltaCursor
+	deltaPhase bool
+
+	batch *vec.Batch
+	locs  []Locator
+
+	delSet map[string]int // anti-semi join set from the delete buffer
+	keyPos []int          // positions of key ordinals within s.cols
+
+	// Stats
+	GroupsScanned    int
+	GroupsEliminated int
+}
+
+type deltaCursor struct {
+	valid bool
+	it    interface {
+		Valid() bool
+		Next()
+		Key() value.Row
+		Row() value.Row
+	}
+}
+
+// NewScanner starts a scan.
+func (x *Index) NewScanner(tr *vclock.Tracker, spec ScanSpec) *Scanner {
+	if spec.Cols == nil {
+		spec.Cols = make([]int, x.cfg.Schema.Len())
+		for i := range spec.Cols {
+			spec.Cols[i] = i
+		}
+	}
+	s := &Scanner{x: x, tr: tr, spec: spec, cols: spec.Cols}
+
+	// The anti-semi join against the delete buffer needs the logical key
+	// columns; decode them too if they are not already requested.
+	if x.nBuf > 0 {
+		s.delSet = make(map[string]int, x.nBuf)
+		var buf []byte
+		for it := x.delBuf.First(tr); it.Valid(); it.Next() {
+			buf = value.EncodeKey(buf[:0], it.Key()...)
+			s.delSet[string(buf)]++
+		}
+		s.cols = append([]int(nil), spec.Cols...)
+		s.keyPos = make([]int, len(x.cfg.KeyOrdinals))
+		for ki, ko := range x.cfg.KeyOrdinals {
+			pos := -1
+			for ci, c := range s.cols {
+				if c == ko {
+					pos = ci
+					break
+				}
+			}
+			if pos == -1 {
+				pos = len(s.cols)
+				s.cols = append(s.cols, ko)
+			}
+			s.keyPos[ki] = pos
+		}
+	}
+
+	kinds := make([]value.Kind, len(s.cols))
+	for i, c := range s.cols {
+		kinds[i] = x.cfg.Schema.Columns[c].Kind
+	}
+	s.batch = vec.NewBatch(kinds)
+	return s
+}
+
+// Batch returns the current batch. Only the first len(spec.Cols)
+// vectors are the requested columns; any extra vectors were decoded for
+// the delete-buffer anti-semi join.
+func (s *Scanner) Batch() *vec.Batch { return s.batch }
+
+// Locators returns the physical locator of each live batch row,
+// indexed like Batch().Row(i)'s live ordinals.
+func (s *Scanner) Locators() []Locator { return s.locs }
+
+// eliminated reports whether the rowgroup can be skipped entirely via
+// min/max metadata (segment elimination / data skipping).
+func (s *Scanner) eliminated(g *rowGroup) bool {
+	if s.spec.PruneCol < 0 {
+		return false
+	}
+	mn, mx := g.mins[s.spec.PruneCol], g.maxs[s.spec.PruneCol]
+	if mn.IsNull() || mx.IsNull() {
+		return false
+	}
+	if !s.spec.Lo.IsNull() && value.Compare(mx, s.spec.Lo) < 0 {
+		return true
+	}
+	if !s.spec.Hi.IsNull() && value.Compare(mn, s.spec.Hi) > 0 {
+		return true
+	}
+	return false
+}
+
+// Next advances to the next non-empty batch, returning false at the
+// end of the index.
+func (s *Scanner) Next() bool {
+	for {
+		if !s.deltaPhase {
+			if !s.nextCompressed() {
+				if s.spec.SkipDelta || s.x.delta.Count() == 0 {
+					return false
+				}
+				s.deltaPhase = true
+				it := s.x.delta.First(s.tr)
+				s.deltaIt = deltaCursor{valid: true, it: it}
+				continue
+			}
+			if s.batch.Len() > 0 {
+				return true
+			}
+			continue
+		}
+		if !s.nextDelta() {
+			return false
+		}
+		if s.batch.Len() > 0 {
+			return true
+		}
+	}
+}
+
+// nextCompressed fills the batch from the current rowgroup, advancing
+// groups as needed. Returns false when compressed groups are exhausted.
+func (s *Scanner) nextCompressed() bool {
+	for s.curGroup == nil {
+		if s.gi >= len(s.x.groups) {
+			return false
+		}
+		g := s.x.groups[s.gi]
+		s.gi++
+		if s.eliminated(g) {
+			s.GroupsEliminated++
+			continue
+		}
+		s.GroupsScanned++
+		// Fetch the needed segments: sequential multi-megabyte reads.
+		s.segs = make([]*segment, len(s.cols))
+		for i, c := range s.cols {
+			s.segs[i] = s.x.store.Get(s.tr, g.segIDs[c], true).(*segment)
+			if s.tr != nil {
+				s.tr.SegmentsRead++
+			}
+		}
+		s.curGroup = g
+		s.offset = 0
+	}
+
+	g := s.curGroup
+	from := s.offset
+	to := from + vec.BatchSize
+	if to > g.n {
+		to = g.n
+	}
+	s.offset = to
+	if s.offset >= g.n {
+		s.curGroup = nil
+	}
+
+	s.batch.Reset()
+	s.locs = s.locs[:0]
+	for ci := range s.cols {
+		v := s.batch.Cols[ci]
+		sink := &decodeSink{
+			addI: func(raw int64, null bool) {
+				v.I = append(v.I, raw)
+				if null {
+					markNull(v)
+				} else if v.Null != nil {
+					v.Null = append(v.Null, false)
+				}
+			},
+			addF: func(f float64, null bool) {
+				v.F = append(v.F, f)
+				if null {
+					markNull(v)
+				} else if v.Null != nil {
+					v.Null = append(v.Null, false)
+				}
+			},
+			addS: func(str string, null bool) {
+				v.S = append(v.S, str)
+				if null {
+					markNull(v)
+				} else if v.Null != nil {
+					v.Null = append(v.Null, false)
+				}
+			},
+		}
+		s.segs[ci].decodeRange(sink, from, to)
+	}
+	n := to - from
+	s.batch.SetLen(n)
+	for i := from; i < to; i++ {
+		s.locs = append(s.locs, Locator{Group: int32(s.gi - 1), Row: int32(i)})
+	}
+
+	// Decode CPU: batch mode, scales with the plan's DOP.
+	if s.tr != nil {
+		s.tr.ChargeParallelCPU(vclock.CPU(int64(n*len(s.cols)), s.tr.Model.BatchCPU/2), 1.0)
+	}
+
+	// Apply the delete bitmap and the delete-buffer anti-semi join by
+	// building a selection vector.
+	needSel := g.ndel > 0 || s.delSet != nil
+	if needSel {
+		sel := make([]int, 0, n)
+		var buf []byte
+		for i := 0; i < n; i++ {
+			phys := from + i
+			if g.isDeleted(phys) {
+				continue
+			}
+			if s.delSet != nil {
+				buf = buf[:0]
+				for _, kp := range s.keyPos {
+					buf = value.EncodeKey(buf, s.batch.Cols[kp].Value(i))
+				}
+				if c, ok := s.delSet[string(buf)]; ok && c > 0 {
+					s.delSet[string(buf)] = c - 1
+					continue
+				}
+			}
+			sel = append(sel, i)
+		}
+		s.batch.Sel = sel
+		// Anti-semi join probe cost.
+		if s.delSet != nil && s.tr != nil {
+			s.tr.ChargeParallelCPU(vclock.CPU(int64(n), s.tr.Model.HashCPU), 1.0)
+		}
+		// Compact locators to live rows.
+		live := make([]Locator, len(sel))
+		for i, p := range sel {
+			live[i] = s.locs[p]
+		}
+		s.locs = live
+	}
+	return true
+}
+
+func markNull(v *vec.Vec) {
+	n := v.Len()
+	if v.Null == nil {
+		v.Null = make([]bool, n-1, vec.BatchSize)
+	}
+	for len(v.Null) < n-1 {
+		v.Null = append(v.Null, false)
+	}
+	v.Null = append(v.Null, true)
+}
+
+// nextDelta fills the batch from the delta store (row-mode access: the
+// delta store is a B+ tree, which is why heavy delta traffic hurts
+// columnstore scans).
+func (s *Scanner) nextDelta() bool {
+	it := s.deltaIt.it
+	if it == nil || !it.Valid() {
+		return false
+	}
+	s.batch.Reset()
+	s.locs = s.locs[:0]
+	n := 0
+	for it.Valid() && n < vec.BatchSize {
+		row := it.Row()
+		for ci, c := range s.cols {
+			s.batch.Cols[ci].Append(row[c])
+		}
+		s.locs = append(s.locs, Locator{Delta: true, Seq: it.Key()[0].Int()})
+		it.Next()
+		n++
+	}
+	s.batch.SetLen(n)
+	if s.tr != nil {
+		// Row-mode cost for delta rows.
+		s.tr.ChargeParallelCPU(vclock.CPU(int64(n), s.tr.Model.RowCPU), 1.0)
+	}
+	// Delta rows can also be logically deleted via the delete buffer.
+	if s.delSet != nil {
+		sel := make([]int, 0, n)
+		var buf []byte
+		for i := 0; i < n; i++ {
+			buf = buf[:0]
+			for _, kp := range s.keyPos {
+				buf = value.EncodeKey(buf, s.batch.Cols[kp].Value(i))
+			}
+			if c, ok := s.delSet[string(buf)]; ok && c > 0 {
+				s.delSet[string(buf)] = c - 1
+				continue
+			}
+			sel = append(sel, i)
+		}
+		live := make([]Locator, len(sel))
+		for i, p := range sel {
+			live[i] = s.locs[p]
+		}
+		s.batch.Sel = sel
+		s.locs = live
+	}
+	return true
+}
+
+// PruneFraction returns the fraction of compressed rows that a scan
+// with the given range predicate on col would actually read after
+// segment elimination — computed exactly from rowgroup min/max
+// metadata, which is how the optimizer costs data skipping.
+func (x *Index) PruneFraction(col int, lo, hi value.Value) float64 {
+	if x.nTotal == 0 {
+		return 1
+	}
+	probe := &Scanner{x: x, spec: ScanSpec{PruneCol: col, Lo: lo, Hi: hi}}
+	var kept int64
+	for _, g := range x.groups {
+		if !probe.eliminated(g) {
+			kept += int64(g.n)
+		}
+	}
+	return float64(kept) / float64(x.nTotal)
+}
+
+// ScanRows is a convenience that materializes every live row (in the
+// requested columns) — used by tests, maintenance, and index builds.
+func (x *Index) ScanRows(tr *vclock.Tracker, cols []int) []value.Row {
+	sc := x.NewScanner(tr, ScanSpec{Cols: cols, PruneCol: -1})
+	ncols := len(sc.spec.Cols)
+	var out []value.Row
+	for sc.Next() {
+		b := sc.Batch()
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i)[:ncols])
+		}
+	}
+	return out
+}

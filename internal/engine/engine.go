@@ -1,0 +1,411 @@
+// Package engine is the database façade: a catalog of tables over one
+// simulated store, a SQL front end (parse → bind → optimize → execute),
+// DDL for the full hybrid design space, and DML that maintains every
+// physical structure. Each statement execution returns the metrics the
+// paper collects (execution time, CPU time, data read, memory, DOP).
+package engine
+
+import (
+	"fmt"
+
+	"hybriddb/internal/exec"
+	"hybriddb/internal/optimizer"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/storage"
+	"hybriddb/internal/table"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// Database is one database instance.
+type Database struct {
+	store  *storage.Store
+	model  *vclock.Model
+	tables map[string]*table.Table
+	// DefaultRowGroupSize applies to columnstores created via SQL DDL
+	// (0 = colstore default).
+	DefaultRowGroupSize int
+}
+
+// New creates a database with the given cost model and buffer pool
+// size in bytes (0 = unbounded pool).
+func New(model *vclock.Model, poolBytes int64) *Database {
+	return &Database{
+		store:  storage.NewStore(poolBytes),
+		model:  model,
+		tables: make(map[string]*table.Table),
+	}
+}
+
+// Store returns the underlying store (hot/cold control).
+func (db *Database) Store() *storage.Store { return db.store }
+
+// Model returns the cost model in use.
+func (db *Database) Model() *vclock.Model { return db.model }
+
+// SetModel swaps the cost model (e.g. HDD vs DRAM data device).
+func (db *Database) SetModel(m *vclock.Model) { db.model = m }
+
+// Table returns a table by name, or nil.
+func (db *Database) Table(name string) *table.Table { return db.tables[name] }
+
+// Tables lists every table.
+func (db *Database) Tables() map[string]*table.Table { return db.tables }
+
+// CreateTable registers a new table. clusterKeys non-nil builds a
+// clustered B+ tree primary on those ordinals; nil leaves a heap.
+func (db *Database) CreateTable(name string, schema *value.Schema, clusterKeys []int) (*table.Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t := table.New(db.store, name, schema, clusterKeys)
+	if db.DefaultRowGroupSize > 0 {
+		t.SetRowGroupSize(db.DefaultRowGroupSize)
+	}
+	if clusterKeys != nil {
+		t.ConvertPrimary(nil, table.PrimaryBTree, clusterKeys)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// TableSchema implements sql.Catalog.
+func (db *Database) TableSchema(name string) (*value.Schema, bool) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return t.Schema, true
+}
+
+// ResolveTable implements optimizer.Resolver.
+func (db *Database) ResolveTable(name string) (*table.Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// LockDemand summarizes the locks a statement acquired, consumed by
+// the concurrency simulator.
+type LockDemand struct {
+	Table     string
+	Exclusive bool
+	Rows      int64
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []string
+	Rows         []value.Row
+	RowsAffected int64
+	Metrics      vclock.Metrics
+	Plan         *plan.Root
+	Locks        []LockDemand
+}
+
+// ExecOptions tune one statement execution.
+type ExecOptions struct {
+	// MemGrant bounds the query's working memory (0 = unlimited).
+	MemGrant int64
+	// NoColumnstore removes columnstore access paths (B+-tree-only
+	// baseline costing/execution).
+	NoColumnstore bool
+	// NoElimination and NoBatchMode are ablation switches.
+	NoElimination bool
+	NoBatchMode   bool
+}
+
+func (db *Database) optOptions(o ExecOptions) optimizer.Options {
+	return optimizer.Options{
+		Model:         db.model,
+		MemGrant:      o.MemGrant,
+		NoColumnstore: o.NoColumnstore,
+		NoElimination: o.NoElimination,
+		NoBatchMode:   o.NoBatchMode,
+	}
+}
+
+// Exec parses and executes one SQL statement.
+func (db *Database) Exec(query string, opts ...ExecOptions) (*Result, error) {
+	var o ExecOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	st, err := sql.ParseOne(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(st, o)
+}
+
+// ExecStmt executes a parsed statement.
+func (db *Database) ExecStmt(st sql.Statement, o ExecOptions) (*Result, error) {
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		return db.execSelect(s, o)
+	case *sql.InsertStmt:
+		return db.execInsert(s)
+	case *sql.UpdateStmt:
+		return db.execUpdate(s, o)
+	case *sql.DeleteStmt:
+		return db.execDelete(s, o)
+	case *sql.CreateTableStmt:
+		return db.execCreateTable(s)
+	case *sql.CreateIndexStmt:
+		return db.execCreateIndex(s)
+	case *sql.DropIndexStmt:
+		return db.execDropIndex(s)
+	case *sql.DropTableStmt:
+		if _, ok := db.tables[s.Table]; !ok {
+			return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+		}
+		delete(db.tables, s.Table)
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// Plan optimizes a SELECT without executing it (the what-if costing
+// path DTA uses).
+func (db *Database) Plan(query string, o ExecOptions) (*plan.Root, *sql.BoundSelect, error) {
+	st, err := sql.ParseOne(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: Plan requires a SELECT, got %T", st)
+	}
+	bound, err := sql.NewBinder(db).BindSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := optimizer.Optimize(db, bound, db.optOptions(o))
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, bound, nil
+}
+
+func (db *Database) execSelect(s *sql.SelectStmt, o ExecOptions) (*Result, error) {
+	bound, err := sql.NewBinder(db).BindSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	root, err := optimizer.Optimize(db, bound, db.optOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	tr := vclock.NewTracker(db.model)
+	res, err := exec.Run(tr, root, bound.TotalSlots)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Metrics: res.Metrics,
+		Plan:    root,
+	}
+	for _, bt := range bound.Tables {
+		out.Locks = append(out.Locks, LockDemand{Table: bt.Ref.Table, Rows: tr.RowsOut + 1})
+	}
+	return out, nil
+}
+
+func (db *Database) execInsert(s *sql.InsertStmt) (*Result, error) {
+	bound, err := sql.NewBinder(db).BindInsert(s)
+	if err != nil {
+		return nil, err
+	}
+	t := db.tables[bound.Table]
+	tr := vclock.NewTracker(db.model)
+	for _, r := range bound.Rows {
+		t.Insert(tr, r)
+	}
+	return &Result{
+		RowsAffected: int64(len(bound.Rows)),
+		Metrics:      tr.Snapshot(),
+		Locks:        []LockDemand{{Table: bound.Table, Exclusive: true, Rows: int64(len(bound.Rows))}},
+	}, nil
+}
+
+// findMatches locates the rows a DML statement targets using the
+// cheapest access path for its WHERE clause.
+func (db *Database) findMatches(tr *vclock.Tracker, t *table.Table, conjuncts []sql.Expr, top int64, o ExecOptions) ([]table.Match, error) {
+	scan := optimizer.ChooseDMLScan(t, conjuncts, db.optOptions(o))
+	ctx := &exec.Context{Tr: tr, TotalSlots: t.Schema.Len(), DOP: 1}
+	cur, err := exec.BuildScan(ctx, scan)
+	if err != nil {
+		return nil, err
+	}
+	uc, ok := cur.(exec.UIDCursor)
+	if !ok {
+		return nil, fmt.Errorf("engine: scan cursor lacks UIDs")
+	}
+	var matches []table.Match
+	for {
+		row, more := uc.Next()
+		if !more {
+			break
+		}
+		matches = append(matches, table.Match{Row: row[:t.Schema.Len()].Clone(), UID: uc.UID()})
+		if top > 0 && int64(len(matches)) >= top {
+			break
+		}
+	}
+	return matches, nil
+}
+
+func (db *Database) execUpdate(s *sql.UpdateStmt, o ExecOptions) (*Result, error) {
+	bound, err := sql.NewBinder(db).BindUpdate(s)
+	if err != nil {
+		return nil, err
+	}
+	t := db.tables[bound.Table]
+	tr := vclock.NewTracker(db.model)
+	matches, err := db.findMatches(tr, t, bound.Conjuncts, bound.Top, o)
+	if err != nil {
+		return nil, err
+	}
+	ups := make([]table.Update, len(matches))
+	for i, m := range matches {
+		newRow := m.Row.Clone()
+		for si, col := range bound.SetCols {
+			newRow[col] = sql.Eval(bound.SetExprs[si], m.Row)
+		}
+		ups[i] = table.Update{Old: m.Row, New: newRow, UID: m.UID}
+	}
+	n := t.ApplyUpdates(tr, ups)
+	return &Result{
+		RowsAffected: n,
+		Metrics:      tr.Snapshot(),
+		Locks:        []LockDemand{{Table: bound.Table, Exclusive: true, Rows: n}},
+	}, nil
+}
+
+func (db *Database) execDelete(s *sql.DeleteStmt, o ExecOptions) (*Result, error) {
+	bound, err := sql.NewBinder(db).BindDelete(s)
+	if err != nil {
+		return nil, err
+	}
+	t := db.tables[bound.Table]
+	tr := vclock.NewTracker(db.model)
+	matches, err := db.findMatches(tr, t, bound.Conjuncts, bound.Top, o)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Delete(tr, matches)
+	return &Result{
+		RowsAffected: n,
+		Metrics:      tr.Snapshot(),
+		Locks:        []LockDemand{{Table: bound.Table, Exclusive: true, Rows: n}},
+	}, nil
+}
+
+func (db *Database) execCreateTable(s *sql.CreateTableStmt) (*Result, error) {
+	cols := make([]value.Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = value.Column{Name: c.Name, Kind: c.Kind}
+	}
+	schema := value.NewSchema(cols...)
+	var pk []int
+	for _, name := range s.PrimaryKey {
+		ord := schema.Ordinal(name)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: unknown PRIMARY KEY column %q", name)
+		}
+		pk = append(pk, ord)
+	}
+	if _, err := db.CreateTable(s.Table, schema, pk); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *Database) execCreateIndex(s *sql.CreateIndexStmt) (*Result, error) {
+	t := db.tables[s.Table]
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+	}
+	tr := vclock.NewTracker(db.model)
+	ordsOf := func(names []string) ([]int, error) {
+		out := make([]int, len(names))
+		for i, n := range names {
+			ord := t.Schema.Ordinal(n)
+			if ord < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q", n)
+			}
+			out[i] = ord
+		}
+		return out, nil
+	}
+	switch {
+	case s.Columnstore && s.Clustered:
+		keys, err := ordsOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		t.ConvertPrimary(tr, table.PrimaryColumnstore, keys)
+	case s.Columnstore:
+		keys, err := ordsOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		t.AddSecondaryCSI(tr, s.Name, keys...)
+	case s.Clustered:
+		keys, err := ordsOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		t.ConvertPrimary(tr, table.PrimaryBTree, keys)
+	default:
+		keys, err := ordsOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		include, err := ordsOf(s.Include)
+		if err != nil {
+			return nil, err
+		}
+		t.AddSecondaryBTree(tr, s.Name, keys, include)
+	}
+	return &Result{Metrics: tr.Snapshot()}, nil
+}
+
+func (db *Database) execDropIndex(s *sql.DropIndexStmt) (*Result, error) {
+	t := db.tables[s.Table]
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+	}
+	if !t.DropSecondary(s.Name) {
+		return nil, fmt.Errorf("engine: unknown index %q on %q", s.Name, s.Table)
+	}
+	return &Result{}, nil
+}
+
+// TupleMoveAll runs columnstore maintenance on every table.
+func (db *Database) TupleMoveAll() {
+	for _, t := range db.tables {
+		t.TupleMove(nil)
+	}
+}
+
+// ExplainString renders a plan tree for diagnostics.
+func ExplainString(root *plan.Root) string {
+	var out string
+	var walk func(n plan.Node, depth int)
+	walk = func(n plan.Node, depth int) {
+		rows, cost := n.Estimate()
+		for i := 0; i < depth; i++ {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s (rows=%.0f cost=%v)\n", n.Describe(), rows, cost)
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root.Input, 0)
+	out += fmt.Sprintf("[dop=%d grant=%dB]\n", root.DOP, root.MemGrant)
+	return out
+}

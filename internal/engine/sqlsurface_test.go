@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"testing"
+
+	"hybriddb/internal/value"
+)
+
+// TestSQLSurface exercises the wider SQL subset end to end: IN lists,
+// IS NULL, BETWEEN over dates, DISTINCT aggregates, aliases, and
+// arithmetic in projections.
+func TestSQLSurface(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `CREATE TABLE ev (id BIGINT, kind VARCHAR(8), amt DOUBLE, dday DATE, PRIMARY KEY (id))`)
+	tb := db.Table("ev")
+	kinds := []string{"click", "view", "buy"}
+	rows := make([]value.Row, 900)
+	for i := range rows {
+		amt := value.NewFloat(float64(i%50) + 0.25)
+		if i%90 == 0 {
+			amt = value.Null
+		}
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(kinds[i%3]),
+			amt,
+			value.NewDate(10000 + int64(i%30)),
+		}
+	}
+	tb.BulkLoad(nil, rows)
+
+	res := mustExec(t, db, "SELECT count(*) FROM ev WHERE kind IN ('click', 'buy')")
+	if res.Rows[0][0].Int() != 600 {
+		t.Fatalf("IN: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT count(*) FROM ev WHERE kind NOT IN ('click', 'buy')")
+	if res.Rows[0][0].Int() != 300 {
+		t.Fatalf("NOT IN: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT count(*) FROM ev WHERE amt IS NULL")
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatalf("IS NULL: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT count(amt) FROM ev")
+	if res.Rows[0][0].Int() != 890 {
+		t.Fatalf("count(col) skips NULLs: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT count(DISTINCT kind) FROM ev WHERE amt IS NOT NULL")
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("DISTINCT: %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT count(*) FROM ev WHERE dday BETWEEN '1997-05-24' AND DATEADD(day, 2, '1997-05-24')`)
+	if res.Rows[0][0].Int() != 90 {
+		t.Fatalf("date BETWEEN: %v (day range)", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT kind k, avg(amt) a FROM ev GROUP BY kind ORDER BY k")
+	if len(res.Rows) != 3 || res.Columns[0] != "k" || res.Rows[0][0].Str() != "buy" {
+		t.Fatalf("alias/order: %v %v", res.Columns, res.Rows)
+	}
+	res = mustExec(t, db, "SELECT id, amt * 2 + 1 FROM ev WHERE id = 5")
+	want := (float64(5%50)+0.25)*2 + 1
+	if res.Rows[0][1].Float() != want {
+		t.Fatalf("arithmetic projection: %v want %v", res.Rows[0][1], want)
+	}
+	// Scalar aggregate over empty input returns one row.
+	res = mustExec(t, db, "SELECT count(*), sum(amt), min(amt) FROM ev WHERE id = 123456")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 0 || !res.Rows[0][1].IsNull() {
+		t.Fatalf("empty scalar agg: %v", res.Rows)
+	}
+	// OR and NOT in predicates.
+	res = mustExec(t, db, "SELECT count(*) FROM ev WHERE id < 10 OR id >= 890")
+	if res.Rows[0][0].Int() != 20 {
+		t.Fatalf("OR: %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT count(*) FROM ev WHERE NOT (id < 890)")
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatalf("NOT: %v", res.Rows)
+	}
+}

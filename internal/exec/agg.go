@@ -1,0 +1,386 @@
+package exec
+
+import (
+	"fmt"
+
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+func buildAgg(ctx *Context, a *plan.Agg) (Cursor, error) {
+	if a.Strategy == plan.AggStream {
+		in, err := Build(ctx, a.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &streamAggCursor{ctx: ctx, a: a, in: in}, nil
+	}
+	// Batch-mode hash aggregation runs directly over the columnstore
+	// batch source when the input is a batch-capable scan.
+	if a.BatchMode {
+		if scan, ok := a.Input.(*plan.Scan); ok && scan.Access == plan.AccessCSIScan {
+			return newBatchHashAgg(ctx, a, scan)
+		}
+	}
+	in, err := Build(ctx, a.Input)
+	if err != nil {
+		return nil, err
+	}
+	return newRowHashAgg(ctx, a, in)
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sum      value.Value
+	min, max value.Value
+	distinct map[string]bool
+}
+
+func (s *aggState) update(spec *plan.AggSpec, v value.Value) {
+	if spec.Func == plan.AggCount && spec.Arg == nil {
+		s.count++ // COUNT(*)
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if spec.Distinct {
+		if s.distinct == nil {
+			s.distinct = make(map[string]bool)
+		}
+		k := string(value.EncodeKey(nil, v))
+		if s.distinct[k] {
+			return
+		}
+		s.distinct[k] = true
+	}
+	s.count++
+	switch spec.Func {
+	case plan.AggSum, plan.AggAvg:
+		if s.sum.IsNull() {
+			s.sum = v
+		} else {
+			s.sum = value.Add(s.sum, v)
+		}
+	case plan.AggMin:
+		if s.min.IsNull() || value.Compare(v, s.min) < 0 {
+			s.min = v
+		}
+	case plan.AggMax:
+		if s.max.IsNull() || value.Compare(v, s.max) > 0 {
+			s.max = v
+		}
+	}
+}
+
+func (s *aggState) merge(o *aggState, spec *plan.AggSpec) {
+	s.count += o.count
+	if !o.sum.IsNull() {
+		if s.sum.IsNull() {
+			s.sum = o.sum
+		} else {
+			s.sum = value.Add(s.sum, o.sum)
+		}
+	}
+	if !o.min.IsNull() && (s.min.IsNull() || value.Compare(o.min, s.min) < 0) {
+		s.min = o.min
+	}
+	if !o.max.IsNull() && (s.max.IsNull() || value.Compare(o.max, s.max) > 0) {
+		s.max = o.max
+	}
+	for k := range o.distinct {
+		if s.distinct == nil {
+			s.distinct = make(map[string]bool)
+		}
+		s.distinct[k] = true
+	}
+}
+
+func (s *aggState) final(spec *plan.AggSpec) value.Value {
+	switch spec.Func {
+	case plan.AggCount:
+		return value.NewInt(s.count)
+	case plan.AggSum:
+		return s.sum
+	case plan.AggAvg:
+		if s.count == 0 {
+			return value.Null
+		}
+		return value.Div(s.sum, value.NewInt(s.count))
+	case plan.AggMin:
+		return s.min
+	case plan.AggMax:
+		return s.max
+	}
+	return value.Null
+}
+
+// aggGroup is the per-group accumulator.
+type aggGroup struct {
+	keys   value.Row
+	states []aggState
+}
+
+// aggCore is the grant-aware hash-aggregation engine shared by the row
+// and batch operators. When the hash table would exceed the grant it
+// spills partial aggregates to the temp device and merges them at the
+// end — the disk-based aggregation the paper triggers in Figure 4.
+type aggCore struct {
+	ctx     *Context
+	a       *plan.Agg
+	groups  map[string]*aggGroup
+	bytes   int64
+	spills  []map[string]*aggGroup
+	Spilled bool
+	buf     []byte
+}
+
+func newAggCore(ctx *Context, a *plan.Agg) *aggCore {
+	return &aggCore{ctx: ctx, a: a, groups: make(map[string]*aggGroup)}
+}
+
+const groupOverhead = 96
+
+// add folds one input row (in the plan's input layout) into the hash
+// table, spilling first if the new group would exceed the grant.
+func (c *aggCore) add(row value.Row) {
+	c.buf = c.buf[:0]
+	for _, slot := range c.a.GroupSlots {
+		c.buf = value.EncodeKey(c.buf, row[slot])
+	}
+	g, ok := c.groups[string(c.buf)]
+	if !ok {
+		keys := make(value.Row, len(c.a.GroupSlots))
+		for i, slot := range c.a.GroupSlots {
+			keys[i] = row[slot]
+		}
+		w := int64(keys.Width() + groupOverhead + 48*len(c.a.Specs))
+		if c.ctx.overGrant(w) {
+			c.spill()
+		}
+		g = &aggGroup{keys: keys, states: make([]aggState, len(c.a.Specs))}
+		c.groups[string(c.buf)] = g
+		c.ctx.Tr.Alloc(w)
+		c.bytes += w
+	}
+	for i := range c.a.Specs {
+		spec := &c.a.Specs[i]
+		var v value.Value
+		if spec.Arg != nil {
+			v = sql.Eval(spec.Arg, row)
+		}
+		g.states[i].update(spec, v)
+	}
+}
+
+// spill writes the current partial aggregates to the temp device and
+// resets the hash table.
+func (c *aggCore) spill() {
+	if len(c.groups) == 0 {
+		return
+	}
+	c.Spilled = true
+	c.ctx.Tr.ChargeTempWrite(c.bytes)
+	c.ctx.Tr.Free(c.bytes)
+	c.spills = append(c.spills, c.groups)
+	c.groups = make(map[string]*aggGroup)
+	c.bytes = 0
+}
+
+// finish merges spilled partials and returns the output rows in the
+// agg layout (group values, then aggregate results).
+func (c *aggCore) finish() []value.Row {
+	if len(c.spills) > 0 {
+		c.spill() // flush the tail partial
+		merged := make(map[string]*aggGroup)
+		for _, part := range c.spills {
+			// Read the partial back from temp.
+			var bytes int64
+			for _, g := range part {
+				bytes += int64(g.keys.Width() + groupOverhead)
+			}
+			c.ctx.Tr.ChargeTempRead(bytes)
+			for k, g := range part {
+				if m, ok := merged[k]; ok {
+					for i := range c.a.Specs {
+						m.states[i].merge(&g.states[i], &c.a.Specs[i])
+					}
+				} else {
+					merged[k] = g
+				}
+			}
+		}
+		c.groups = merged
+	}
+	// A scalar aggregate (no GROUP BY) over empty input still produces
+	// one row: COUNT(*) = 0, other aggregates NULL.
+	if len(c.groups) == 0 && len(c.a.GroupSlots) == 0 {
+		row := make(value.Row, len(c.a.Specs))
+		empty := aggGroup{states: make([]aggState, len(c.a.Specs))}
+		for i := range c.a.Specs {
+			row[i] = empty.states[i].final(&c.a.Specs[i])
+		}
+		return []value.Row{row}
+	}
+	out := make([]value.Row, 0, len(c.groups))
+	for _, g := range c.groups {
+		row := make(value.Row, len(c.a.GroupSlots)+len(c.a.Specs))
+		copy(row, g.keys)
+		for i := range c.a.Specs {
+			row[len(c.a.GroupSlots)+i] = g.states[i].final(&c.a.Specs[i])
+		}
+		out = append(out, row)
+	}
+	c.ctx.Tr.Free(c.bytes)
+	c.bytes = 0
+	return out
+}
+
+// rowHashAgg drains a row-mode input through the agg core.
+type rowHashAgg struct {
+	rows []value.Row
+	pos  int
+}
+
+func newRowHashAgg(ctx *Context, a *plan.Agg, in Cursor) (*rowHashAgg, error) {
+	core := newAggCore(ctx, a)
+	m := ctx.Tr.Model
+	for {
+		row, ok := in.Next()
+		if !ok {
+			break
+		}
+		ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU+m.AggCPU), 1.0)
+		core.add(row)
+	}
+	return &rowHashAgg{rows: core.finish()}, nil
+}
+
+func (c *rowHashAgg) Next() (value.Row, bool) {
+	if c.pos >= len(c.rows) {
+		return nil, false
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	return r, true
+}
+
+// batchHashAgg drains a columnstore batch source through the agg core,
+// charging batch-mode rates (the vectorized aggregation that gives
+// columnstores their Figure 4 advantage while the grant lasts).
+type batchHashAgg struct {
+	rows []value.Row
+	pos  int
+}
+
+func newBatchHashAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (*batchHashAgg, error) {
+	src, err := newCSIBatchSource(ctx, scan)
+	if err != nil {
+		return nil, err
+	}
+	core := newAggCore(ctx, a)
+	m := ctx.Tr.Model
+	scratch := make(value.Row, ctx.TotalSlots)
+	schemaLen := scan.Table.Schema.Len()
+	for {
+		b, ok := src.next()
+		if !ok {
+			break
+		}
+		n := b.Len()
+		ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), (m.BatchCPU*2)+m.BatchCPU), 1.0)
+		for i := 0; i < n; i++ {
+			p := b.LiveIndex(i)
+			for vi, ord := range src.cols {
+				if ord < schemaLen {
+					scratch[scan.SlotBase+ord] = b.Cols[vi].Value(p)
+				}
+			}
+			core.add(scratch)
+		}
+	}
+	return &batchHashAgg{rows: core.finish()}, nil
+}
+
+func (c *batchHashAgg) Next() (value.Row, bool) {
+	if c.pos >= len(c.rows) {
+		return nil, false
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	return r, true
+}
+
+// streamAggCursor aggregates an input already sorted by the group
+// columns with O(1) memory — the execution benefit of B+ tree sort
+// order (Section 3.2.2).
+type streamAggCursor struct {
+	ctx    *Context
+	a      *plan.Agg
+	in     Cursor
+	cur    *aggGroup
+	curKey []byte
+	done   bool
+}
+
+func (c *streamAggCursor) Next() (value.Row, bool) {
+	if c.done {
+		return nil, false
+	}
+	m := c.ctx.Tr.Model
+	var buf []byte
+	for {
+		row, ok := c.in.Next()
+		if !ok {
+			c.done = true
+			if c.cur == nil {
+				return nil, false
+			}
+			out := c.emit()
+			return out, true
+		}
+		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.AggCPU), 1.0)
+		buf = buf[:0]
+		for _, slot := range c.a.GroupSlots {
+			buf = value.EncodeKey(buf, row[slot])
+		}
+		var ready value.Row
+		if c.cur != nil && string(buf) != string(c.curKey) {
+			ready = c.emit()
+		}
+		if c.cur == nil {
+			keys := make(value.Row, len(c.a.GroupSlots))
+			for i, slot := range c.a.GroupSlots {
+				keys[i] = row[slot]
+			}
+			c.cur = &aggGroup{keys: keys, states: make([]aggState, len(c.a.Specs))}
+			c.curKey = append(c.curKey[:0], buf...)
+		}
+		for i := range c.a.Specs {
+			spec := &c.a.Specs[i]
+			var v value.Value
+			if spec.Arg != nil {
+				v = sql.Eval(spec.Arg, row)
+			}
+			c.cur.states[i].update(spec, v)
+		}
+		if ready != nil {
+			return ready, true
+		}
+	}
+}
+
+func (c *streamAggCursor) emit() value.Row {
+	out := make(value.Row, len(c.a.GroupSlots)+len(c.a.Specs))
+	copy(out, c.cur.keys)
+	for i := range c.a.Specs {
+		out[len(c.a.GroupSlots)+i] = c.cur.states[i].final(&c.a.Specs[i])
+	}
+	c.cur = nil
+	return out
+}
+
+var _ = fmt.Sprintf

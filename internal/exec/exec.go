@@ -1,0 +1,105 @@
+// Package exec runs physical plans. Row-mode operators pull composite
+// rows through Cursor trees; columnstore scans run in batch mode
+// (vectorized over vec.Batch with selection vectors) and are either
+// consumed directly by batch-mode aggregation or adapted to rows for
+// row-mode parents — mirroring SQL Server's split between batch-mode
+// and row-mode execution that drives the paper's CPU asymmetries.
+package exec
+
+import (
+	"fmt"
+
+	"hybriddb/internal/plan"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// Context carries per-query execution state.
+type Context struct {
+	Tr *vclock.Tracker
+	// Grant is the query's working-memory grant in bytes; 0 = unlimited.
+	// Sorts and hash aggregates spill when they would exceed it.
+	Grant int64
+	// TotalSlots is the width of composite rows (sum of FROM schemas).
+	TotalSlots int
+	// DOP is the plan's degree of parallelism.
+	DOP int
+}
+
+// overGrant reports whether allocating need more bytes would exceed
+// the grant.
+func (c *Context) overGrant(need int64) bool {
+	return c.Grant > 0 && c.Tr.MemInUse()+need > c.Grant
+}
+
+// Cursor produces composite rows.
+type Cursor interface {
+	Next() (value.Row, bool)
+}
+
+// Result is a completed query execution.
+type Result struct {
+	Columns []string
+	Rows    []value.Row
+	Metrics vclock.Metrics
+}
+
+// Run executes a plan to completion.
+func Run(tr *vclock.Tracker, root *plan.Root, totalSlots int) (*Result, error) {
+	ctx := &Context{Tr: tr, Grant: root.MemGrant, TotalSlots: totalSlots, DOP: root.DOP}
+	tr.SetDOP(root.DOP)
+	cur, err := Build(ctx, root.Input)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: root.Columns}
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	tr.RowsOut = int64(len(res.Rows))
+	res.Metrics = tr.Snapshot()
+	return res, nil
+}
+
+// Build constructs the cursor tree for a plan node.
+func Build(ctx *Context, n plan.Node) (Cursor, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return buildScan(ctx, node)
+	case *plan.Filter:
+		in, err := Build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newFilterCursor(ctx, in, node.Conds), nil
+	case *plan.Join:
+		return buildJoin(ctx, node)
+	case *plan.Agg:
+		return buildAgg(ctx, node)
+	case *plan.Project:
+		in, err := Build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectCursor{ctx: ctx, in: in, exprs: node.Exprs}, nil
+	case *plan.Sort:
+		in, err := Build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newSortCursor(ctx, in, node.Keys)
+	case *plan.Top:
+		in, err := Build(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &topCursor{in: in, n: node.N}, nil
+	case *plan.Root:
+		return Build(ctx, node.Input)
+	}
+	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+}

@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"fmt"
+
+	"hybriddb/internal/plan"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+func buildJoin(ctx *Context, j *plan.Join) (Cursor, error) {
+	switch j.Strategy {
+	case plan.JoinNestedLoop:
+		inner, ok := j.Inner.(*plan.Scan)
+		if !ok {
+			return nil, fmt.Errorf("exec: nested loop inner must be a scan, got %T", j.Inner)
+		}
+		outer, err := Build(ctx, j.Outer)
+		if err != nil {
+			return nil, err
+		}
+		return &nljCursor{ctx: ctx, j: j, outer: outer, inner: inner}, nil
+	case plan.JoinHash:
+		return newHashJoinCursor(ctx, j)
+	case plan.JoinMerge:
+		outer, err := Build(ctx, j.Outer)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := Build(ctx, j.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &mergeJoinCursor{ctx: ctx, j: j, left: outer, right: inner}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown join strategy %v", j.Strategy)
+}
+
+// mergeJoinCursor joins two inputs that arrive ordered on their join
+// columns, buffering only the current run of equal inner keys — the
+// O(1)-memory join that B+ tree sort order enables.
+type mergeJoinCursor struct {
+	ctx *Context
+	j   *plan.Join
+
+	left, right Cursor
+	started     bool
+	leftRow     value.Row
+	leftOK      bool
+	rightRow    value.Row
+	rightOK     bool
+
+	runKey value.Value // key of the buffered inner run
+	run    []value.Row
+	runIdx int
+}
+
+func (c *mergeJoinCursor) advanceLeft() {
+	c.leftRow, c.leftOK = c.left.Next()
+	if c.leftOK {
+		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(1, c.ctx.Tr.Model.RowCPU/4), 0.8)
+	}
+}
+
+func (c *mergeJoinCursor) advanceRight() {
+	c.rightRow, c.rightOK = c.right.Next()
+	if c.rightOK {
+		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(1, c.ctx.Tr.Model.RowCPU/4), 0.8)
+	}
+}
+
+func (c *mergeJoinCursor) Next() (value.Row, bool) {
+	if !c.started {
+		c.started = true
+		c.advanceLeft()
+		c.advanceRight()
+	}
+	for {
+		// Emit pending combinations of the current left row with the
+		// buffered inner run.
+		if c.runIdx < len(c.run) && c.leftOK && !c.runKey.IsNull() &&
+			value.Compare(c.leftRow[c.j.LeftSlot], c.runKey) == 0 {
+			out := c.leftRow.Clone()
+			for i, v := range c.run[c.runIdx] {
+				if !v.IsNull() {
+					out[i] = v
+				}
+			}
+			c.runIdx++
+			if passes(c.ctx, c.j.Residual, out) {
+				return out, true
+			}
+			continue
+		}
+		if c.runIdx >= len(c.run) && len(c.run) > 0 && c.leftOK &&
+			!c.runKey.IsNull() && value.Compare(c.leftRow[c.j.LeftSlot], c.runKey) == 0 {
+			// Finished the run for this left row; next left row may match
+			// the same run.
+			c.advanceLeft()
+			c.runIdx = 0
+			continue
+		}
+		if !c.leftOK {
+			return nil, false
+		}
+		lk := c.leftRow[c.j.LeftSlot]
+		if lk.IsNull() {
+			c.advanceLeft()
+			continue
+		}
+		// Drop a stale run strictly below the current left key.
+		if len(c.run) > 0 && value.Compare(c.runKey, lk) < 0 {
+			c.run, c.runIdx, c.runKey = c.run[:0], 0, value.Null
+		}
+		if len(c.run) == 0 {
+			// Advance the inner side to the first key >= lk.
+			for c.rightOK {
+				rk := c.rightRow[c.j.RightSlot]
+				if rk.IsNull() || value.Compare(rk, lk) < 0 {
+					c.advanceRight()
+					continue
+				}
+				break
+			}
+			if !c.rightOK {
+				return nil, false
+			}
+			rk := c.rightRow[c.j.RightSlot]
+			if value.Compare(rk, lk) > 0 {
+				c.advanceLeft()
+				continue
+			}
+			// Buffer the run of equal inner keys.
+			c.runKey = rk
+			for c.rightOK && value.Compare(c.rightRow[c.j.RightSlot], rk) == 0 {
+				c.run = append(c.run, c.rightRow.Clone())
+				c.advanceRight()
+			}
+			c.runIdx = 0
+		}
+	}
+}
+
+// nljCursor is an index nested-loop join: for each outer row it seeks
+// the inner scan's index at the outer key and merges matching rows —
+// the plan shape the paper's Section 5.3 hybrid examples use (index
+// seek + nested loop into fact tables).
+type nljCursor struct {
+	ctx   *Context
+	j     *plan.Join
+	outer Cursor
+	inner *plan.Scan
+
+	curOuter value.Row
+	innerCur Cursor
+}
+
+func (c *nljCursor) Next() (value.Row, bool) {
+	m := c.ctx.Tr.Model
+	for {
+		if c.innerCur == nil {
+			row, ok := c.outer.Next()
+			if !ok {
+				return nil, false
+			}
+			c.curOuter = row
+			key := row[c.j.LeftSlot]
+			if key.IsNull() {
+				continue
+			}
+			// Instantiate the inner scan with equality bounds at the key.
+			scan := *c.inner
+			scan.Lo = plan.Bound{Val: key, Inclusive: true}
+			scan.Hi = plan.Bound{Val: key, Inclusive: true}
+			if scan.Access == plan.AccessClusteredScan {
+				scan.Access = plan.AccessClusteredSeek
+			}
+			cur, err := buildScan(c.ctx, &scan)
+			if err != nil {
+				// Planner guarantees seekability; treat as empty inner.
+				c.innerCur = nil
+				continue
+			}
+			c.innerCur = cur
+		}
+		inRow, ok := c.innerCur.Next()
+		if !ok {
+			c.innerCur = nil
+			continue
+		}
+		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.RowCPU/2), 0.8)
+		out := c.curOuter.Clone()
+		for i, v := range inRow {
+			if !v.IsNull() || out[i].IsNull() {
+				if !v.IsNull() {
+					out[i] = v
+				}
+			}
+		}
+		if !passes(c.ctx, c.j.Residual, out) {
+			continue
+		}
+		return out, true
+	}
+}
+
+// hashJoinCursor builds a hash table on the outer (build) side and
+// probes with the inner side.
+type hashJoinCursor struct {
+	ctx    *Context
+	j      *plan.Join
+	htable map[string][]value.Row
+	probe  Cursor
+	// pending matches for the current probe row
+	pending []value.Row
+	pos     int
+	bytes   int64
+}
+
+func newHashJoinCursor(ctx *Context, j *plan.Join) (*hashJoinCursor, error) {
+	build, err := Build(ctx, j.Outer)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := Build(ctx, j.Inner)
+	if err != nil {
+		return nil, err
+	}
+	c := &hashJoinCursor{ctx: ctx, j: j, htable: make(map[string][]value.Row), probe: probe}
+	m := ctx.Tr.Model
+	var buf []byte
+	for {
+		row, ok := build.Next()
+		if !ok {
+			break
+		}
+		k := row[j.LeftSlot]
+		if k.IsNull() {
+			continue
+		}
+		buf = value.EncodeKey(buf[:0], k)
+		c.htable[string(buf)] = append(c.htable[string(buf)], row)
+		w := int64(row.Width() + 32)
+		ctx.Tr.Alloc(w)
+		c.bytes += w
+		ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU), 1.0)
+	}
+	return c, nil
+}
+
+func (c *hashJoinCursor) Next() (value.Row, bool) {
+	m := c.ctx.Tr.Model
+	var buf []byte
+	for {
+		if c.pos < len(c.pending) {
+			row := c.pending[c.pos]
+			c.pos++
+			return row, true
+		}
+		probeRow, ok := c.probe.Next()
+		if !ok {
+			c.ctx.Tr.Free(c.bytes)
+			c.bytes = 0
+			return nil, false
+		}
+		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU), 1.0)
+		k := probeRow[c.j.RightSlot]
+		if k.IsNull() {
+			continue
+		}
+		buf = value.EncodeKey(buf[:0], k)
+		matches := c.htable[string(buf)]
+		if len(matches) == 0 {
+			continue
+		}
+		c.pending = c.pending[:0]
+		c.pos = 0
+		for _, b := range matches {
+			out := b.Clone()
+			for i, v := range probeRow {
+				if !v.IsNull() {
+					out[i] = v
+				}
+			}
+			if passes(c.ctx, c.j.Residual, out) {
+				c.pending = append(c.pending, out)
+			}
+		}
+	}
+}

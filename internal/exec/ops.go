@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"sort"
+
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// filterCursor evaluates residual conjuncts in row mode.
+type filterCursor struct {
+	ctx   *Context
+	in    Cursor
+	conds []sql.Expr
+}
+
+func newFilterCursor(ctx *Context, in Cursor, conds []sql.Expr) *filterCursor {
+	return &filterCursor{ctx: ctx, in: in, conds: conds}
+}
+
+func (c *filterCursor) Next() (value.Row, bool) {
+	m := c.ctx.Tr.Model
+	for {
+		row, ok := c.in.Next()
+		if !ok {
+			return nil, false
+		}
+		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.RowCPU/2), 1.0)
+		if passes(c.ctx, c.conds, row) {
+			return row, true
+		}
+	}
+}
+
+// projectCursor computes output expressions per row.
+type projectCursor struct {
+	ctx   *Context
+	in    Cursor
+	exprs []sql.Expr
+}
+
+func (c *projectCursor) Next() (value.Row, bool) {
+	row, ok := c.in.Next()
+	if !ok {
+		return nil, false
+	}
+	m := c.ctx.Tr.Model
+	c.ctx.Tr.ChargeSerialCPU(vclock.CPU(1, m.RowCPU/4))
+	out := make(value.Row, len(c.exprs))
+	for i, e := range c.exprs {
+		out[i] = sql.Eval(e, row)
+	}
+	return out, true
+}
+
+// topCursor limits output to N rows.
+type topCursor struct {
+	in   Cursor
+	n    int64
+	seen int64
+}
+
+func (c *topCursor) Next() (value.Row, bool) {
+	if c.seen >= c.n {
+		return nil, false
+	}
+	row, ok := c.in.Next()
+	if !ok {
+		return nil, false
+	}
+	c.seen++
+	return row, true
+}
+
+// sortCursor materializes and orders its input. When the materialized
+// size exceeds the memory grant it switches to an external merge sort:
+// sorted runs are "written" to the temp device (charged), memory is
+// released, and the runs are merged — reproducing the grant-bounded
+// behaviour behind the paper's Section 3.2.2 experiments.
+type sortCursor struct {
+	rows []value.Row
+	pos  int
+}
+
+func newSortCursor(ctx *Context, in Cursor, keys []plan.SortKey) (*sortCursor, error) {
+	m := ctx.Tr.Model
+	type run struct {
+		rows  []value.Row
+		bytes int64
+	}
+	var runs []run
+	var cur run
+	var totalRows int64
+
+	sortRun := func(r []value.Row) {
+		sort.SliceStable(r, func(i, j int) bool {
+			for _, k := range keys {
+				a, b := sql.Eval(k.Expr, r[i]), sql.Eval(k.Expr, r[j])
+				c := value.Compare(a, b)
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		n := int64(len(r))
+		if n > 1 {
+			comparisons := n * int64(log2(n))
+			ctx.Tr.ChargeParallelCPU(vclock.CPU(comparisons*int64(len(keys)), m.SortCPU), 0.7)
+		}
+	}
+
+	flushRun := func() {
+		if len(cur.rows) == 0 {
+			return
+		}
+		sortRun(cur.rows)
+		// Spill the run: temp write now, temp read at merge.
+		ctx.Tr.ChargeTempWrite(cur.bytes)
+		ctx.Tr.Free(cur.bytes)
+		runs = append(runs, cur)
+		cur = run{}
+	}
+
+	for {
+		row, ok := in.Next()
+		if !ok {
+			break
+		}
+		w := int64(row.Width() + 24)
+		if ctx.overGrant(w) {
+			flushRun()
+		}
+		ctx.Tr.Alloc(w)
+		cur.rows = append(cur.rows, row)
+		cur.bytes += w
+		totalRows++
+	}
+
+	out := &sortCursor{}
+	if len(runs) == 0 {
+		// Everything fit: in-memory sort.
+		sortRun(cur.rows)
+		ctx.Tr.Free(cur.bytes)
+		out.rows = cur.rows
+		return out, nil
+	}
+	// External merge: the last partial run spills too, then all runs are
+	// read back and merged.
+	flushRun()
+	var total int64
+	for _, r := range runs {
+		ctx.Tr.ChargeTempRead(r.bytes)
+		total += int64(len(r.rows))
+	}
+	merged := make([]value.Row, 0, total)
+	for _, r := range runs {
+		merged = append(merged, r.rows...)
+	}
+	sortRun(merged) // merge cost approximated as one more pass
+	out.rows = merged
+	return out, nil
+}
+
+func (c *sortCursor) Next() (value.Row, bool) {
+	if c.pos >= len(c.rows) {
+		return nil, false
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	return r, true
+}
+
+func log2(n int64) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"fmt"
+
+	"hybriddb/internal/colstore"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/vec"
+)
+
+// csiBatchSource drives a columnstore scan and applies the pushed-down
+// conjuncts vectorized (narrowing the selection vector), charging
+// batch-mode CPU rates. It is the engine's batch-mode pipeline leaf.
+type csiBatchSource struct {
+	ctx     *Context
+	s       *plan.Scan
+	sc      *colstore.Scanner
+	cols    []int       // CSI ordinals decoded (NeedCols + hidden uid)
+	colPos  map[int]int // table ordinal -> vector index
+	uidIdx  int
+	scratch value.Row
+}
+
+func newCSIBatchSource(ctx *Context, s *plan.Scan) (*csiBatchSource, error) {
+	var idx *colstore.Index
+	if s.Index != nil && s.Index.CSI != nil {
+		idx = s.Index.CSI
+	} else if s.Table.CCI() != nil {
+		idx = s.Table.CCI()
+	} else {
+		return nil, fmt.Errorf("exec: %s has no columnstore", s.Table.Name)
+	}
+	need := s.NeedCols
+	if need == nil {
+		need = make([]int, s.Table.Schema.Len())
+		for i := range need {
+			need[i] = i
+		}
+	}
+	uidCol := s.Table.UIDColumn()
+	cols := append([]int(nil), need...)
+	uidIdx := -1
+	for i, c := range cols {
+		if c == uidCol {
+			uidIdx = i
+		}
+	}
+	if uidIdx < 0 {
+		uidIdx = len(cols)
+		cols = append(cols, uidCol)
+	}
+	spec := colstore.ScanSpec{Cols: cols, PruneCol: -1}
+	if s.SeekCol >= 0 && (!s.Lo.Unbounded || !s.Hi.Unbounded) {
+		spec.PruneCol = s.SeekCol
+		if !s.Lo.Unbounded {
+			spec.Lo = s.Lo.Val
+		}
+		if !s.Hi.Unbounded {
+			spec.Hi = s.Hi.Val
+		}
+	}
+	src := &csiBatchSource{
+		ctx:    ctx,
+		s:      s,
+		sc:     idx.NewScanner(ctx.Tr, spec),
+		cols:   cols,
+		colPos: make(map[int]int, len(cols)),
+		uidIdx: uidIdx,
+	}
+	for i, c := range cols {
+		src.colPos[c] = i
+	}
+	src.scratch = make(value.Row, ctx.TotalSlots)
+	return src, nil
+}
+
+// next returns the next batch with the scan's filters applied to its
+// selection vector, or nil at the end.
+func (s *csiBatchSource) next() (*vec.Batch, bool) {
+	m := s.ctx.Tr.Model
+	for s.sc.Next() {
+		b := s.sc.Batch()
+		for _, cond := range s.s.Filter {
+			n := b.Len()
+			if n == 0 {
+				break
+			}
+			s.ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), m.BatchCPU), 1.0)
+			if !s.applyFast(b, cond) {
+				s.applyGeneric(b, cond)
+			}
+		}
+		if b.Len() > 0 {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// applyFast handles ColRef-op-Lit conjuncts on integer-representable
+// vectors without materializing values. Returns false if the conjunct
+// does not match the fast-path shape.
+func (s *csiBatchSource) applyFast(b *vec.Batch, cond sql.Expr) bool {
+	bin, ok := cond.(*sql.BinOp)
+	if !ok {
+		return false
+	}
+	col, ok := bin.L.(*sql.ColRef)
+	if !ok {
+		return false
+	}
+	lit, ok := bin.R.(*sql.Lit)
+	if !ok || lit.Val.IsNull() {
+		return false
+	}
+	switch col.Kind {
+	case value.KindInt, value.KindDate, value.KindBool:
+	default:
+		return false
+	}
+	if lit.Val.Kind() != value.KindInt && lit.Val.Kind() != value.KindDate && lit.Val.Kind() != value.KindBool {
+		return false
+	}
+	vi, ok := s.colPos[col.Slot-s.s.SlotBase]
+	if !ok {
+		return false
+	}
+	v := b.Cols[vi]
+	cmp := lit.Val.Int()
+	sel := make([]int, 0, b.Len())
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		p := b.LiveIndex(i)
+		if v.IsNull(p) {
+			continue
+		}
+		x := v.I[p]
+		keep := false
+		switch bin.Op {
+		case "=":
+			keep = x == cmp
+		case "<>":
+			keep = x != cmp
+		case "<":
+			keep = x < cmp
+		case "<=":
+			keep = x <= cmp
+		case ">":
+			keep = x > cmp
+		case ">=":
+			keep = x >= cmp
+		default:
+			return false
+		}
+		if keep {
+			sel = append(sel, p)
+		}
+	}
+	b.Sel = sel
+	return true
+}
+
+// applyGeneric evaluates an arbitrary conjunct by materializing the
+// table's columns into a scratch composite row per live position.
+func (s *csiBatchSource) applyGeneric(b *vec.Batch, cond sql.Expr) {
+	sel := make([]int, 0, b.Len())
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		p := b.LiveIndex(i)
+		for vi, ord := range s.cols {
+			if ord < s.s.Table.Schema.Len() {
+				s.scratch[s.s.SlotBase+ord] = b.Cols[vi].Value(p)
+			}
+		}
+		if sql.Truthy(sql.Eval(cond, s.scratch)) {
+			sel = append(sel, p)
+		}
+	}
+	b.Sel = sel
+}
+
+// vecIndex returns the batch vector index for a composite slot.
+func (s *csiBatchSource) vecIndex(slot int) (int, bool) {
+	vi, ok := s.colPos[slot-s.s.SlotBase]
+	return vi, ok
+}

@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"hybriddb/internal/advisor"
+	"hybriddb/internal/engine"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sim"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/workload"
+)
+
+// endToEndSet is one read-only workload for Figures 9/10 and Table 2.
+type endToEndSet struct {
+	name     string
+	declared *workload.CustomerProfile // Table 2 declared stats (nil for TPC-DS)
+	build    func() (*engine.Database, []string)
+}
+
+func endToEndWorkloads(quick bool) []endToEndSet {
+	scale := workload.TPCDSScale(1.0)
+	custScale := 1.0
+	if quick {
+		scale = 0.15
+		custScale = 0.2
+	}
+	sets := []endToEndSet{{
+		name: "TPC-DS",
+		build: func() (*engine.Database, []string) {
+			db, qs := workload.BuildTPCDS(vclock.DefaultModel(vclock.DRAM), scale)
+			if quick {
+				qs = qs[:30]
+			}
+			return db, qs
+		},
+	}}
+	for _, p := range workload.Customers() {
+		p := p
+		p.Scale *= custScale
+		sets = append(sets, endToEndSet{
+			name:     p.Name,
+			declared: &p,
+			build: func() (*engine.Database, []string) {
+				return workload.BuildCustomer(vclock.DefaultModel(vclock.DRAM), p)
+			},
+		})
+	}
+	return sets
+}
+
+// designCosts measures per-query CPU time under the three designs the
+// paper compares: B+-tree-only (DTA without columnstores), CSI-only
+// (secondary columnstore on every table), and hybrid (full DTA).
+// It also returns the hybrid plans for Figure 10.
+func designCosts(set endToEndSet, quick bool) (btree, csiOnly, hybrid []time.Duration, hybridPlans []*plan.Root) {
+	maxIdx := 20
+	if quick {
+		maxIdx = 12
+	}
+	runAll := func(db *engine.Database, queries []string) ([]time.Duration, []*plan.Root) {
+		out := make([]time.Duration, len(queries))
+		plans := make([]*plan.Root, len(queries))
+		for i, q := range queries {
+			res := mustExec(db, q)
+			out[i] = res.Metrics.CPUTime
+			plans[i] = res.Plan
+		}
+		return out, plans
+	}
+
+	// B+-tree-only: DTA restricted to B+ trees.
+	{
+		db, queries := set.build()
+		w := make(advisor.Workload, len(queries))
+		for i, q := range queries {
+			w[i] = advisor.Statement{SQL: q}
+		}
+		rec, err := advisor.Tune(db, w, advisor.Options{NoColumnstore: true, MaxIndexes: maxIdx})
+		if err != nil {
+			panic(err)
+		}
+		if err := rec.Apply(db); err != nil {
+			panic(err)
+		}
+		btree, _ = runAll(db, queries)
+	}
+	// CSI-only: a secondary columnstore on every table.
+	{
+		db, queries := set.build()
+		i := 0
+		for name := range db.Tables() {
+			mustExec(db, fmt.Sprintf("CREATE NONCLUSTERED COLUMNSTORE INDEX csi_%d ON %s", i, name))
+			i++
+		}
+		csiOnly, _ = runAll(db, queries)
+	}
+	// Hybrid: full DTA.
+	{
+		db, queries := set.build()
+		w := make(advisor.Workload, len(queries))
+		for i, q := range queries {
+			w[i] = advisor.Statement{SQL: q}
+		}
+		rec, err := advisor.Tune(db, w, advisor.Options{MaxIndexes: maxIdx})
+		if err != nil {
+			panic(err)
+		}
+		if err := rec.Apply(db); err != nil {
+			panic(err)
+		}
+		hybrid, hybridPlans = runAll(db, queries)
+	}
+	return btree, csiOnly, hybrid, hybridPlans
+}
+
+// Fig9 reproduces Figure 9: per-query CPU-time speedup of the hybrid
+// design over the CSI-only and B+-tree-only designs, histogrammed into
+// the paper's buckets, for TPC-DS and the five customer workloads.
+func Fig9(quick bool) []*Table {
+	var tables []*Table
+	for _, set := range endToEndWorkloads(quick) {
+		bt, cs, hy, _ := designCosts(set, quick)
+		var vsCSI, vsBT []float64
+		for i := range hy {
+			h := float64(hy[i])
+			if h <= 0 {
+				h = 1
+			}
+			vsCSI = append(vsCSI, float64(cs[i])/h)
+			vsBT = append(vsBT, float64(bt[i])/h)
+		}
+		t := &Table{ID: "fig9-" + set.name,
+			Title:  fmt.Sprintf("%s: queries per speedup bucket (hybrid vs. baseline)", set.name),
+			Header: append([]string{"baseline"}, append(bucketLabels(), "geomean")...)}
+		rowFor := func(name string, sp []float64) {
+			cells := []interface{}{name}
+			for _, c := range bucketize(sp) {
+				cells = append(cells, c)
+			}
+			cells = append(cells, fmt.Sprintf("%.2fx", geoMean(sp)))
+			t.AddRow(cells...)
+		}
+		rowFor("CSI", vsCSI)
+		rowFor("B+ tree", vsBT)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig10 reproduces Figure 10: the share of plan leaves reading
+// columnstore vs. B+ tree indexes under the hybrid design, and the
+// number of queries whose plan mixes both.
+func Fig10(quick bool) []*Table {
+	t := &Table{ID: "fig10", Title: "Hybrid-design plan composition",
+		Header: []string{"workload", "CSI leaves%", "B+ leaves%", "hybrid plans", "queries"}}
+	for _, set := range endToEndWorkloads(quick) {
+		_, _, _, plans := designCosts(set, quick)
+		var csiLeaves, btLeaves, hybridPlans int
+		for _, p := range plans {
+			kinds := plan.LeafAccess(p.Input)
+			var hasCSI, hasBT bool
+			for _, k := range kinds {
+				if k == plan.AccessCSIScan {
+					csiLeaves++
+					hasCSI = true
+				} else {
+					btLeaves++
+					hasBT = true
+				}
+			}
+			if hasCSI && hasBT {
+				hybridPlans++
+			}
+		}
+		total := csiLeaves + btLeaves
+		if total == 0 {
+			total = 1
+		}
+		t.AddRow(set.name,
+			fmt.Sprintf("%.0f", 100*float64(csiLeaves)/float64(total)),
+			fmt.Sprintf("%.0f", 100*float64(btLeaves)/float64(total)),
+			hybridPlans, len(plans))
+	}
+	return []*Table{t}
+}
+
+// chDesign builds the CH database in the given design; "hybrid" runs
+// DTA over the analytic queries and applies its recommendation.
+func chDesign(quick bool, hybrid bool) (*engine.Database, workload.CHConfig) {
+	cfg := workload.DefaultCH()
+	if quick {
+		cfg.Warehouses = 2
+		cfg.CustomersPerD = 80
+		cfg.OrdersPerD = 100
+		cfg.ItemCount = 500
+	}
+	db := workload.BuildCH(vclock.DefaultModel(vclock.DRAM), cfg)
+	if hybrid {
+		var w advisor.Workload
+		for _, q := range workload.CHQueries() {
+			w = append(w, advisor.Statement{SQL: q})
+		}
+		// Include the write statements so maintenance costs steer the
+		// recommendation (one sample of each transaction type).
+		rng := rand.New(rand.NewSource(17))
+		for _, txn := range workload.CHTransactions() {
+			for _, s := range txn.Gen(rng, cfg) {
+				w = append(w, advisor.Statement{SQL: s, Weight: 20})
+			}
+		}
+		rec, err := advisor.Tune(db, w, advisor.Options{MaxIndexes: 8})
+		if err != nil {
+			panic(err)
+		}
+		if err := rec.Apply(db); err != nil {
+			panic(err)
+		}
+	}
+	db.Store().Prewarm()
+	return db, cfg
+}
+
+// chJobs profiles the CH statement mix on a database design.
+func chJobs(db *engine.Database, cfg workload.CHConfig) (txns []*sim.Job, queries []*sim.Job) {
+	rng := rand.New(rand.NewSource(23))
+	for _, txn := range workload.CHTransactions() {
+		txns = append(txns, profileStatements(db, txn.Name, txn.IsRead, txn.Gen(rng, cfg)))
+	}
+	for i, q := range workload.CHQueries() {
+		queries = append(queries, profileStatements(db, fmt.Sprintf("Q%02d", i+1), true, []string{q}))
+	}
+	return txns, queries
+}
+
+// chSim runs the paper's CH setup: 20 clients (19 transactional on a
+// 10-core pool, 1 analytic on a 30-core pool) under the given
+// isolation level.
+func chSim(txns, queries []*sim.Job, iso sim.Isolation, dur time.Duration) *sim.Result {
+	txnMix := func(rng *rand.Rand) *sim.Job {
+		r := rng.Intn(100)
+		switch {
+		case r < 45:
+			return txns[0] // NewOrder
+		case r < 88:
+			return txns[1] // Payment
+		case r < 92:
+			return txns[2] // OrderStatus
+		case r < 96:
+			return txns[3] // Delivery
+		default:
+			return txns[4] // StockLevel
+		}
+	}
+	qi := 0
+	queryMix := func(rng *rand.Rand) *sim.Job {
+		j := queries[qi%len(queries)]
+		qi++
+		return j
+	}
+	return sim.Run(sim.Config{
+		Pools:     []int{10, 30},
+		Isolation: iso,
+		Groups: []sim.ClientGroup{
+			{Count: 19, Pool: 0, Pick: txnMix},
+			{Count: 1, Pool: 1, Pick: queryMix},
+		},
+		Duration: dur,
+		Warmup:   dur / 10,
+		Seed:     31,
+	})
+}
+
+// Fig11 reproduces Figure 11: the distribution of median-latency
+// speedups of the hybrid design over B+-tree-only for the CH
+// benchmark's queries and transactions, under Snapshot and
+// Serializable isolation.
+func Fig11(quick bool) []*Table {
+	dur := 4 * time.Second
+	if quick {
+		dur = time.Second
+	}
+	btDB, cfg := chDesign(quick, false)
+	btTxns, btQueries := chJobs(btDB, cfg)
+	hyDB, _ := chDesign(quick, true)
+	hyTxns, hyQueries := chJobs(hyDB, cfg)
+
+	hist := &Table{ID: "fig11", Title: "CH: statements per speedup bucket (hybrid vs. B+-tree-only)",
+		Header: append([]string{"isolation"}, bucketLabels()...)}
+	detail := &Table{ID: "fig11-detail", Title: "CH: median latency by statement (SI)",
+		Header: []string{"statement", "B+-only", "hybrid", "speedup"}}
+	isoTbl := &Table{ID: "fig11-iso", Title: "CH: SI vs. SR on the hybrid design (mean of per-query medians / writer medians)",
+		Header: []string{"isolation", "read queries", "NewOrder", "Payment"}}
+
+	for _, iso := range []sim.Isolation{sim.Snapshot, sim.Serializable} {
+		btRes := chSim(btTxns, btQueries, iso, dur)
+		hyRes := chSim(hyTxns, hyQueries, iso, dur)
+		var speedups []float64
+		var readSum time.Duration
+		readN := 0
+		for name, btStat := range btRes.PerJob {
+			hyStat, ok := hyRes.PerJob[name]
+			if !ok || hyStat.Count == 0 || btStat.Count == 0 {
+				continue
+			}
+			b, h := btStat.Median(), hyStat.Median()
+			if h <= 0 {
+				continue
+			}
+			sp := float64(b) / float64(h)
+			speedups = append(speedups, sp)
+			if iso == sim.Snapshot {
+				detail.AddRow(name, b, h, fmt.Sprintf("%.2fx", sp))
+			}
+			if len(name) == 3 && name[0] == 'Q' {
+				readSum += h
+				readN++
+			}
+		}
+		cells := []interface{}{iso.String()}
+		for _, c := range bucketize(speedups) {
+			cells = append(cells, c)
+		}
+		hist.AddRow(cells...)
+		mean := time.Duration(0)
+		if readN > 0 {
+			mean = readSum / time.Duration(readN)
+		}
+		med := func(name string) time.Duration {
+			if st, ok := hyRes.PerJob[name]; ok {
+				return st.Median()
+			}
+			return 0
+		}
+		isoTbl.AddRow(iso.String(), mean, med("NewOrder"), med("Payment"))
+	}
+	sortDetail(detail)
+	return []*Table{hist, detail, isoTbl}
+}
+
+func sortDetail(t *Table) {
+	rows := t.Rows
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j][0] < rows[j-1][0]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// Table1 derives the paper's suitability matrix from fresh micro
+// measurements: which design is most/least suitable per workload axis.
+func Table1(quick bool) []*Table {
+	cfg := tpchConfig(true) // small is fine: the ranking is what matters
+	if !quick {
+		cfg = tpchConfig(false)
+	}
+	type designCosts struct {
+		name                     string
+		shortScan, largeScan     time.Duration
+		shortUpdate, largeUpdate time.Duration
+	}
+	date := workload.ShipDate(700)
+	probe := func(design string) designCosts {
+		db := workload.BuildTPCH(vclock.DefaultModel(vclock.DRAM), cfg)
+		switch design {
+		case "B+ tree-only":
+			mustExec(db, "CREATE CLUSTERED INDEX cix ON lineitem (l_shipdate)")
+		case "Primary CSI-only":
+			mustExec(db, "CREATE CLUSTERED COLUMNSTORE INDEX cci ON lineitem")
+		case "Secondary CSI with B+ tree":
+			mustExec(db, "CREATE CLUSTERED INDEX cix ON lineitem (l_shipdate)")
+			mustExec(db, "CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON lineitem")
+		}
+		db.Store().Prewarm()
+		d := designCosts{name: design}
+		d.shortScan = mustExec(db, workload.Q5(date)).Metrics.ExecTime
+		d.largeScan = mustExec(db, "SELECT sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 0").Metrics.ExecTime
+		d.shortUpdate = mustExec(db, workload.Q4(10, date)).Metrics.ExecTime
+		d.largeUpdate = mustExec(db, workload.Q4Range(workload.ShipDate(0), workload.ShipDate(workload.ShipDateDays*2/5))).Metrics.ExecTime
+		return d
+	}
+	var all []designCosts
+	for _, d := range []string{"B+ tree-only", "Primary CSI-only", "Secondary CSI with B+ tree"} {
+		all = append(all, probe(d))
+	}
+	rank := func(get func(designCosts) time.Duration) map[string]string {
+		type kv struct {
+			name string
+			v    time.Duration
+		}
+		var ks []kv
+		for _, d := range all {
+			ks = append(ks, kv{d.name, get(d)})
+		}
+		for i := 1; i < len(ks); i++ {
+			for j := i; j > 0 && ks[j].v < ks[j-1].v; j-- {
+				ks[j], ks[j-1] = ks[j-1], ks[j]
+			}
+		}
+		labels := []string{"most suitable", "medium", "least suitable"}
+		out := map[string]string{}
+		for i, k := range ks {
+			out[k.name] = labels[i]
+		}
+		return out
+	}
+	short := rank(func(d designCosts) time.Duration { return d.shortScan })
+	large := rank(func(d designCosts) time.Duration { return d.largeScan })
+	sUpd := rank(func(d designCosts) time.Duration { return d.shortUpdate })
+	lUpd := rank(func(d designCosts) time.Duration { return d.largeUpdate })
+
+	t := &Table{ID: "table1", Title: "Measured suitability by workload axis",
+		Header: []string{"Physical design", "Short scans", "Large scans", "Short updates", "Large updates"}}
+	for _, d := range all {
+		t.AddRow(d.name, short[d.name], large[d.name], sUpd[d.name], lUpd[d.name])
+	}
+	return []*Table{t}
+}
+
+// Table2 reports the aggregate statistics of the read-only workloads:
+// the generated scale alongside the paper's declared figures (our
+// synthetic customers match the published query counts and join
+// complexity; sizes are scaled down by design — see DESIGN.md).
+func Table2(quick bool) []*Table {
+	t := &Table{ID: "table2", Title: "Read-only workload statistics (generated | paper-declared)",
+		Header: []string{"workload", "tables", "rows", "queries", "avg joins", "declared size", "declared tables", "declared avg joins"}}
+	for _, set := range endToEndWorkloads(quick) {
+		db, queries := set.build()
+		var rows int64
+		for _, tb := range db.Tables() {
+			rows += tb.RowCount()
+		}
+		joins := 0
+		for _, q := range queries {
+			joins += strings.Count(q, " JOIN ")
+		}
+		avgJoins := float64(joins) / float64(len(queries))
+		declSize, declTables, declJoins := "-", "-", "-"
+		if set.declared != nil {
+			declSize = set.declared.DeclaredDB
+			declTables = fmt.Sprint(set.declared.DeclTables)
+			declJoins = fmt.Sprintf("%.1f", set.declared.DeclAvgJoin)
+		} else {
+			declSize, declTables, declJoins = "87.7 GB", "24", "7.9"
+		}
+		t.AddRow(set.name, len(db.Tables()), rows, len(queries),
+			fmt.Sprintf("%.1f", avgJoins), declSize, declTables, declJoins)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,177 @@
+// Package experiments regenerates every table and figure from the
+// paper's evaluation. Each experiment returns one or more Tables whose
+// rows correspond to the series the paper plots; cmd/hybridbench
+// prints them and bench_test.go wraps them as Go benchmarks.
+// EXPERIMENTS.md records the measured shapes against the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Table is one printable result grid.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = fmtDur(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// Experiment is one registered reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(quick bool) []*Table
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Execution and CPU time vs. selectivity, hot and cold (B+ tree vs. CSI)", Fig1},
+		{"fig2", "Execution time and data read: B+ tree vs. CSI random vs. CSI sorted", Fig2},
+		{"fig3", "Explicit sort order: execution time and memory by design", Fig3},
+		{"fig4", "Group-by under a bounded memory grant: stream vs. hash aggregation", Fig4},
+		{"fig5", "Update cost vs. fraction of rows updated, by physical design", Fig5},
+		{"fig6", "Mixed workload execution time vs. scan percentage, by design", Fig6},
+		{"table1", "Suitability matrix derived from the micro-benchmarks", Table1},
+		{"table2", "Aggregate statistics of the read-only workloads", Table2},
+		{"fig9", "Speedup distribution of hybrid vs. CSI-only and B+-tree-only designs", Fig9},
+		{"fig10", "Index kinds used in plan leaves; hybrid plan counts", Fig10},
+		{"fig11", "CH benchmark speedup of hybrid vs. B+-tree-only under SI and SR", Fig11},
+		{"fig12", "CPU time for B+ tree vs. CSI random vs. CSI sorted (Appendix A.1)", Fig12},
+		{"fig13", "Selectivity crossover vs. concurrent queries (Appendix A.2)", Fig13},
+		{"ablation", "Design-choice ablations", Ablations},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// speedupBuckets are the paper's Figure 9/11 histogram buckets.
+var speedupBuckets = []struct {
+	label string
+	hi    float64
+}{
+	{"0.5", 0.5}, {"0.8", 0.8}, {"1.2", 1.2}, {"1.5", 1.5},
+	{"2", 2}, {"5", 5}, {"10", 10}, {">10", 1e300},
+}
+
+// bucketize counts speedups per paper bucket.
+func bucketize(speedups []float64) []int {
+	counts := make([]int, len(speedupBuckets))
+	for _, s := range speedups {
+		for i, b := range speedupBuckets {
+			if s <= b.hi {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+func bucketLabels() []string {
+	out := make([]string, len(speedupBuckets))
+	for i, b := range speedupBuckets {
+		out[i] = b.label
+	}
+	return out
+}
+
+// geoMean returns the geometric mean of positive values.
+func geoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			v = 1e-9
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hybriddb/internal/engine"
+	"hybriddb/internal/sim"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/workload"
+)
+
+// paper selectivity grid, in percent (Figure 1/2 x-axis).
+var selPercents = []float64{0, 0.00001, 0.0001, 0.001, 0.01, 0.05, 0.09, 0.4, 1, 10, 30, 50, 100}
+
+func selLabel(pct float64) string {
+	if pct == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%g", pct)
+}
+
+func microRows(quick bool) int {
+	if quick {
+		return 200_000
+	}
+	return 2_000_000
+}
+
+// buildMicroDesign builds the single-column micro table with the given
+// primary design ("btree" or "csi").
+func buildMicroDesign(quick, sorted bool, design string) (*engine.Database, workload.MicroConfig) {
+	cfg := workload.DefaultMicro()
+	cfg.Rows = microRows(quick)
+	cfg.Sorted = sorted
+	// 4096-row rowgroups: ~500 groups at full scale, giving both a fine
+	// elimination granularity for the sorted-CSI experiment and a
+	// random-data elimination threshold (~1/4096) below the plotted
+	// selectivity range's midpoint (see EXPERIMENTS.md on scale effects).
+	cfg.RowGroupSize = 4096
+	db := workload.BuildMicro(vclock.DefaultModel(vclock.HDD), cfg)
+	switch design {
+	case "btree":
+		mustExec(db, "CREATE CLUSTERED INDEX cix ON t (col1)")
+	case "csi":
+		mustExec(db, "CREATE CLUSTERED COLUMNSTORE INDEX cci ON t")
+	}
+	db.Store().Prewarm()
+	return db, cfg
+}
+
+func mustExec(db *engine.Database, q string, opts ...engine.ExecOptions) *engine.Result {
+	res, err := db.Exec(q, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %q: %v", q, err))
+	}
+	return res
+}
+
+// Fig1 reproduces Figure 1: execution and CPU time for hot and cold
+// runs of Q1 as selectivity varies, on a primary B+ tree vs. a primary
+// columnstore.
+func Fig1(quick bool) []*Table {
+	bt, cfg := buildMicroDesign(quick, false, "btree")
+	cs, _ := buildMicroDesign(quick, false, "csi")
+
+	exec := &Table{ID: "fig1a", Title: "Execution time (Q1)",
+		Header: []string{"sel%", "CSI cold", "B+ cold", "CSI hot", "B+ hot", "B+ DOP"}}
+	cpu := &Table{ID: "fig1b", Title: "CPU time (Q1)",
+		Header: []string{"sel%", "CSI cold", "B+ cold", "CSI hot", "B+ hot"}}
+
+	for _, pct := range selPercents {
+		q := workload.Q1(pct/100, cfg.MaxValue)
+		// Hot runs (everything resident after build/prewarm).
+		csHot := mustExec(cs, q).Metrics
+		btHotRes := mustExec(bt, q)
+		btHot := btHotRes.Metrics
+		// Cold runs.
+		cs.Store().Cool()
+		csCold := mustExec(cs, q).Metrics
+		bt.Store().Cool()
+		btCold := mustExec(bt, q).Metrics
+		// Restore hot state for the next iteration.
+		cs.Store().Prewarm()
+		bt.Store().Prewarm()
+
+		exec.AddRow(selLabel(pct), csCold.ExecTime, btCold.ExecTime, csHot.ExecTime, btHot.ExecTime, btHot.DOP)
+		cpu.AddRow(selLabel(pct), csCold.CPUTime, btCold.CPUTime, csHot.CPUTime, btHot.CPUTime)
+	}
+	return []*Table{exec, cpu}
+}
+
+// fig2Series runs Q1 cold across the grid for the three Figure 2
+// designs, returning per-selectivity metrics.
+type fig2Point struct {
+	pct                float64
+	bt, csRand, csSort vclock.Metrics
+}
+
+func fig2Series(quick bool) []fig2Point {
+	bt, cfg := buildMicroDesign(quick, false, "btree")
+	csRand, _ := buildMicroDesign(quick, false, "csi")
+	csSort, _ := buildMicroDesign(quick, true, "csi")
+	var out []fig2Point
+	for _, pct := range selPercents {
+		q := workload.Q1(pct/100, cfg.MaxValue)
+		p := fig2Point{pct: pct}
+		bt.Store().Cool()
+		p.bt = mustExec(bt, q).Metrics
+		csRand.Store().Cool()
+		p.csRand = mustExec(csRand, q).Metrics
+		csSort.Store().Cool()
+		p.csSort = mustExec(csSort, q).Metrics
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig2 reproduces Figure 2: cold execution time and data read for
+// B+ tree vs. CSI built on random vs. pre-sorted data (segment
+// elimination).
+func Fig2(quick bool) []*Table {
+	pts := fig2Series(quick)
+	exec := &Table{ID: "fig2a", Title: "Execution time, cold (Q1)",
+		Header: []string{"sel%", "B+tree", "CSI random", "CSI sorted"}}
+	read := &Table{ID: "fig2b", Title: "Data read (MB)",
+		Header: []string{"sel%", "B+tree", "CSI random", "CSI sorted"}}
+	for _, p := range pts {
+		exec.AddRow(selLabel(p.pct), p.bt.ExecTime, p.csRand.ExecTime, p.csSort.ExecTime)
+		read.AddRow(selLabel(p.pct),
+			fmt.Sprintf("%.2f", float64(p.bt.DataRead)/1e6),
+			fmt.Sprintf("%.2f", float64(p.csRand.DataRead)/1e6),
+			fmt.Sprintf("%.2f", float64(p.csSort.DataRead)/1e6))
+	}
+	return []*Table{exec, read}
+}
+
+// Fig12 reproduces Appendix A.1: the CPU-time series of Figure 2.
+func Fig12(quick bool) []*Table {
+	pts := fig2Series(quick)
+	cpu := &Table{ID: "fig12", Title: "CPU time, cold (Q1)",
+		Header: []string{"sel%", "B+tree", "CSI random", "CSI sorted"}}
+	for _, p := range pts {
+		cpu.AddRow(selLabel(p.pct), p.bt.CPUTime, p.csRand.CPUTime, p.csSort.CPUTime)
+	}
+	return []*Table{cpu}
+}
+
+// Fig3 reproduces Figure 3: Q2 (filter on col1, ORDER BY col2) on
+// three designs — primary CSI, B+ tree keyed on col1, B+ tree keyed on
+// col2 — measuring hot execution time and query memory.
+func Fig3(quick bool) []*Table {
+	cfg := workload.DefaultMicro()
+	cfg.Rows = microRows(quick)
+	cfg.Cols = 2
+	cfg.RowGroupSize = cfg.Rows / 1000
+
+	build := func(design string) *engine.Database {
+		db := workload.BuildMicro(vclock.DefaultModel(vclock.DRAM), cfg)
+		mustExec(db, design)
+		return db
+	}
+	csi := build("CREATE CLUSTERED COLUMNSTORE INDEX cci ON t")
+	btCol1 := build("CREATE CLUSTERED INDEX cix ON t (col1)")
+	btCol2 := build("CREATE CLUSTERED INDEX cix ON t (col2)")
+
+	exec := &Table{ID: "fig3a", Title: "Execution time (Q2)",
+		Header: []string{"sel%", "CSI", "B+ on col1", "B+ on col2"}}
+	mem := &Table{ID: "fig3b", Title: "Query memory (MB)",
+		Header: []string{"sel%", "CSI", "B+ on col1", "B+ on col2"}}
+	for _, pct := range selPercents {
+		q := workload.Q2(pct/100, cfg.MaxValue)
+		a := mustExec(csi, q).Metrics
+		b := mustExec(btCol1, q).Metrics
+		c := mustExec(btCol2, q).Metrics
+		exec.AddRow(selLabel(pct), a.ExecTime, b.ExecTime, c.ExecTime)
+		mem.AddRow(selLabel(pct),
+			fmt.Sprintf("%.3f", float64(a.MemPeak)/1e6),
+			fmt.Sprintf("%.3f", float64(b.MemPeak)/1e6),
+			fmt.Sprintf("%.3f", float64(c.MemPeak)/1e6))
+	}
+	return []*Table{exec, mem}
+}
+
+// Fig4 reproduces Figure 4: the group-by query with a bounded working
+// memory grant as the number of groups grows — stream aggregation on
+// the B+ tree vs. (spilling) hash aggregation on the columnstore.
+func Fig4(quick bool) []*Table {
+	rows := microRows(quick)
+	groupCounts := []int{100, 1000, 10000, 100000, 1000000}
+	if quick {
+		groupCounts = []int{100, 1000, 10000, 100000}
+	}
+	const grant = 2 << 20 // 2 MB working memory
+	t := &Table{ID: "fig4", Title: fmt.Sprintf("Group-by execution time (grant %d MB)", grant>>20),
+		Header: []string{"groups", "B+ tree", "CSI", "CSI spilled(MB)"}}
+	for _, g := range groupCounts {
+		if g > rows {
+			continue
+		}
+		btDB := workload.BuildMicroGroups(vclock.DefaultModel(vclock.DRAM), rows, g, rows/500, 5)
+		mustExec(btDB, "CREATE CLUSTERED INDEX cix ON t (col1)")
+		csDB := workload.BuildMicroGroups(vclock.DefaultModel(vclock.DRAM), rows, g, rows/500, 5)
+		mustExec(csDB, "CREATE CLUSTERED COLUMNSTORE INDEX cci ON t")
+
+		opts := engine.ExecOptions{MemGrant: grant}
+		bt := mustExec(btDB, workload.Q3(), opts).Metrics
+		cs := mustExec(csDB, workload.Q3(), opts).Metrics
+		t.AddRow(g, bt.ExecTime, cs.ExecTime, fmt.Sprintf("%.1f", float64(cs.DataWrite)/1e6))
+	}
+	return []*Table{t}
+}
+
+// Fig13 reproduces Appendix A.2: the execution-time crossover
+// selectivity between B+ tree and CSI as the number of concurrent
+// identical queries grows from 1 to 256, replayed on the concurrency
+// simulator with the paper's 40 logical cores.
+func Fig13(quick bool) []*Table {
+	bt, cfg := buildMicroDesign(quick, false, "btree")
+	cs, _ := buildMicroDesign(quick, false, "csi")
+	// Switch both to DRAM costing (hot runs) for profiling.
+	bt.SetModel(vclock.DefaultModel(vclock.DRAM))
+	cs.SetModel(vclock.DefaultModel(vclock.DRAM))
+
+	// Profile both designs across a finer selectivity grid.
+	grid := []float64{0.01, 0.05, 0.09, 0.2, 0.4, 0.7, 1, 1.5, 2, 3, 5, 8}
+	type profile struct{ bt, cs *sim.Job }
+	profiles := make([]profile, len(grid))
+	for i, pct := range grid {
+		q := workload.Q1(pct/100, cfg.MaxValue)
+		b := mustExec(bt, q).Metrics
+		c := mustExec(cs, q).Metrics
+		profiles[i] = profile{
+			bt: &sim.Job{Name: "bt", CPUWork: b.CPUTime, MaxDOP: b.DOP, IsRead: true},
+			cs: &sim.Job{Name: "cs", CPUWork: c.CPUTime, MaxDOP: c.DOP, IsRead: true},
+		}
+	}
+
+	concurrency := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	t := &Table{ID: "fig13", Title: "Selectivity (%) crossover vs. concurrent queries",
+		Header: []string{"clients", "crossover sel%"}}
+	for _, nq := range concurrency {
+		crossover := grid[len(grid)-1]
+		found := false
+		for i, pct := range grid {
+			btLat := simLatency(profiles[i].bt, nq)
+			csLat := simLatency(profiles[i].cs, nq)
+			if csLat < btLat {
+				crossover = pct
+				found = true
+				break
+			}
+		}
+		label := fmt.Sprintf("%g", crossover)
+		if !found {
+			label = ">" + label
+		}
+		t.AddRow(nq, label)
+	}
+	return []*Table{t}
+}
+
+// simLatency runs nq identical clients on 40 cores and returns the
+// mean statement latency.
+func simLatency(job *sim.Job, nq int) time.Duration {
+	// Size the virtual duration from the processor-sharing estimate so
+	// each client completes a few dozen statements regardless of scale.
+	rate := float64(40) / float64(nq)
+	if dop := float64(job.MaxDOP); rate > dop {
+		rate = dop
+	}
+	if rate < 0.01 {
+		rate = 0.01
+	}
+	est := time.Duration(float64(job.CPUWork) / rate)
+	if est < time.Microsecond {
+		est = time.Microsecond
+	}
+	res := sim.Run(sim.Config{
+		Pools:    []int{40},
+		Groups:   []sim.ClientGroup{{Count: nq, Pick: func(*rand.Rand) *sim.Job { return job }}},
+		Duration: est * 30,
+		Seed:     1,
+	})
+	return res.Mean()
+}

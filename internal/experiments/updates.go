@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hybriddb/internal/engine"
+	"hybriddb/internal/sim"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/workload"
+)
+
+// tpchConfig sizes the TPC-H database for the update experiments.
+func tpchConfig(quick bool) workload.TPCHConfig {
+	cfg := workload.DefaultTPCH()
+	if quick {
+		cfg.LineitemRows = 100_000
+		cfg.RowGroupSize = 1 << 12
+	} else {
+		cfg.LineitemRows = 400_000
+		cfg.RowGroupSize = 1 << 13
+	}
+	return cfg
+}
+
+// fig5Design prepares one of the three Figure 5 physical designs on a
+// fresh TPC-H database.
+func fig5Design(quick bool, design string) *engine.Database {
+	db := workload.BuildTPCH(vclock.DefaultModel(vclock.DRAM), tpchConfig(quick))
+	switch design {
+	case "btree":
+		mustExec(db, "CREATE CLUSTERED INDEX cix ON lineitem (l_shipdate)")
+	case "btree+csi":
+		mustExec(db, "CREATE CLUSTERED INDEX cix ON lineitem (l_shipdate)")
+		mustExec(db, "CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON lineitem")
+	case "csi":
+		mustExec(db, "CREATE CLUSTERED COLUMNSTORE INDEX cci ON lineitem")
+		mustExec(db, "CREATE NONCLUSTERED INDEX six ON lineitem (l_shipdate)")
+	}
+	db.Store().Prewarm()
+	return db
+}
+
+// Fig5 reproduces Figure 5: execution time of the update statement Q4
+// as the fraction of updated rows grows, for a primary B+ tree, a
+// primary B+ tree with a secondary CSI, and a primary CSI.
+func Fig5(quick bool) []*Table {
+	fractions := []float64{0.0001, 0.001, 0.01, 0.05, 0.2, 0.4}
+	if quick {
+		fractions = []float64{0.001, 0.01, 0.2}
+	}
+	t := &Table{ID: "fig5", Title: "Update execution time vs. fraction of rows updated",
+		Header: []string{"updated%", "Pri B+tree", "B+tree + sec CSI", "Pri CSI"}}
+	designs := []string{"btree", "btree+csi", "csi"}
+	for _, frac := range fractions {
+		days := int64(frac * workload.ShipDateDays)
+		if days < 1 {
+			days = 1
+		}
+		var cells []interface{}
+		cells = append(cells, fmt.Sprintf("%.2f", frac*100))
+		for _, d := range designs {
+			db := fig5Design(quick, d)
+			q := workload.Q4Range(workload.ShipDate(0), workload.ShipDate(days-1))
+			m := mustExec(db, q).Metrics
+			cells = append(cells, m.ExecTime)
+		}
+		t.AddRow(cells...)
+	}
+	return []*Table{t}
+}
+
+// fig6Config sizes Figure 6's database: the mixed-workload result
+// depends on scans being orders of magnitude heavier than the 10-row
+// updates, which needs a larger lineitem than the other experiments.
+func fig6Config(quick bool) workload.TPCHConfig {
+	cfg := workload.DefaultTPCH()
+	if quick {
+		cfg.LineitemRows = 400_000
+		cfg.RowGroupSize = 1 << 13
+	} else {
+		cfg.LineitemRows = 2_000_000
+		cfg.RowGroupSize = 1 << 14
+	}
+	return cfg
+}
+
+// fig6Design prepares one of the three Figure 6 designs.
+func fig6Design(quick bool, design string) *engine.Database {
+	db := workload.BuildTPCH(vclock.DefaultModel(vclock.DRAM), fig6Config(quick))
+	// All designs: primary B+ tree on (l_orderkey, l_linenumber) is the
+	// load default; add the secondary shipdate index the paper gives
+	// every design (it locates Q4's target rows).
+	mustExec(db, "CREATE NONCLUSTERED INDEX ship_ix ON lineitem (l_shipdate)")
+	switch design {
+	case "B":
+		mustExec(db, "CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON lineitem")
+	case "C":
+		// Primary CSI replaces the clustered B+ tree.
+		mustExec(db, "CREATE CLUSTERED COLUMNSTORE INDEX cci ON lineitem")
+	}
+	db.Store().Prewarm()
+	return db
+}
+
+// profileStatements executes a statement list once and folds the
+// metrics into one simulator job.
+func profileStatements(db *engine.Database, name string, isRead bool, stmts []string) *sim.Job {
+	job := &sim.Job{Name: name, MaxDOP: 1, IsRead: isRead}
+	for _, s := range stmts {
+		res := mustExec(db, s)
+		job.CPUWork += res.Metrics.CPUTime
+		if res.Metrics.DOP > job.MaxDOP {
+			job.MaxDOP = res.Metrics.DOP
+		}
+		for _, l := range res.Locks {
+			tbl := db.Table(l.Table)
+			var totalRows int64 = 1
+			if tbl != nil {
+				totalRows = tbl.RowCount()
+			}
+			job.Locks = append(job.Locks, sim.LockReq{
+				Table: l.Table, Exclusive: l.Exclusive, Rows: l.Rows, TableRows: totalRows,
+			})
+		}
+	}
+	return job
+}
+
+// Fig6 reproduces Figure 6: the average execution time of a mixed
+// workload (Q4 updates + Q5 scans, 10 client threads, Read Committed)
+// as the scan share rises from 0% to 5%, across designs A, B, C.
+func Fig6(quick bool) []*Table {
+	mixes := []int{0, 1, 2, 3, 4, 5}
+	t := &Table{ID: "fig6", Title: "Mixed workload mean execution time (10 clients, Read Committed)",
+		Header: []string{"scan%", "A: pri B+tree", "B: + sec CSI", "C: pri CSI"}}
+	designs := []string{"A", "B", "C"}
+
+	// Profile Q4 (TOP 10 update) and Q5 on each design.
+	type pair struct{ update, scan *sim.Job }
+	profiles := make(map[string]pair)
+	for _, d := range designs {
+		db := fig6Design(quick, d)
+		update := profileStatements(db, "update", false, []string{workload.Q4(10, workload.ShipDate(700))})
+		// A 60-day window keeps the paper's scan-to-update resource
+		// asymmetry at this data scale (see EXPERIMENTS.md).
+		scan := profileStatements(db, "scan", true, []string{workload.Q5Range(workload.ShipDate(700), workload.ShipDate(760))})
+		profiles[d] = pair{update: update, scan: scan}
+	}
+
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+	for _, scanPct := range mixes {
+		var cells []interface{}
+		cells = append(cells, fmt.Sprintf("scan:%d,update:%d", scanPct, 100-scanPct))
+		for _, d := range designs {
+			p := profiles[d]
+			pct := scanPct
+			res := sim.Run(sim.Config{
+				Pools:     []int{40},
+				Isolation: sim.ReadCommitted,
+				Groups: []sim.ClientGroup{{
+					Count: 10,
+					Pick: func(rng *rand.Rand) *sim.Job {
+						if rng.Intn(100) < pct {
+							return p.scan
+						}
+						return p.update
+					},
+				}},
+				Duration: dur,
+				Seed:     9,
+			})
+			cells = append(cells, res.Mean())
+		}
+		t.AddRow(cells...)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,180 @@
+package heap
+
+import (
+	"testing"
+
+	"hybriddb/internal/storage"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+func testFile() (*File, *storage.Store) {
+	st := storage.NewStore(0)
+	sch := value.NewSchema(value.Column{Name: "a", Kind: value.KindInt}, value.Column{Name: "b", Kind: value.KindString})
+	return New(st, sch), st
+}
+
+func TestInsertGet(t *testing.T) {
+	f, _ := testFile()
+	rid := f.Insert(value.Row{value.NewInt(1), value.NewString("x")})
+	got := f.Get(nil, rid)
+	if got[0].Int() != 1 || got[1].Str() != "x" {
+		t.Fatalf("got %v", got)
+	}
+	if f.Count() != 1 {
+		t.Errorf("count = %d", f.Count())
+	}
+}
+
+func TestMultiPage(t *testing.T) {
+	f, _ := testFile()
+	const n = 5000
+	rids := make([]RowID, n)
+	for i := 0; i < n; i++ {
+		rids[i] = f.Insert(value.Row{value.NewInt(int64(i)), value.NewString("payloadpayload")})
+	}
+	if f.Pages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", f.Pages())
+	}
+	for i, rid := range rids {
+		if got := f.Get(nil, rid); got == nil || got[0].Int() != int64(i) {
+			t.Fatalf("row %d: got %v", i, got)
+		}
+	}
+}
+
+func TestDeleteUpdate(t *testing.T) {
+	f, _ := testFile()
+	rid := f.Insert(value.Row{value.NewInt(1), value.NewString("x")})
+	if !f.Update(rid, value.Row{value.NewInt(2), value.NewString("y")}) {
+		t.Fatal("update failed")
+	}
+	if got := f.Get(nil, rid); got[0].Int() != 2 {
+		t.Fatalf("after update: %v", got)
+	}
+	if !f.Delete(rid) {
+		t.Fatal("delete failed")
+	}
+	if f.Delete(rid) {
+		t.Fatal("double delete succeeded")
+	}
+	if f.Get(nil, rid) != nil {
+		t.Fatal("deleted row still readable")
+	}
+	if f.Update(rid, value.Row{value.NewInt(3), value.NewString("z")}) {
+		t.Fatal("update of deleted row succeeded")
+	}
+	if f.Count() != 0 {
+		t.Errorf("count = %d", f.Count())
+	}
+}
+
+func TestScan(t *testing.T) {
+	f, _ := testFile()
+	for i := 0; i < 100; i++ {
+		f.Insert(value.Row{value.NewInt(int64(i)), value.NewString("v")})
+	}
+	// Delete every third row.
+	f.Scan(nil, func(rid RowID, row value.Row) bool {
+		if row[0].Int()%3 == 0 {
+			defer f.Delete(rid)
+		}
+		return true
+	})
+	var seen int64
+	f.Scan(nil, func(rid RowID, row value.Row) bool {
+		if row[0].Int()%3 == 0 {
+			t.Fatalf("deleted row %v visited", row)
+		}
+		seen++
+		return true
+	})
+	if seen != f.Count() {
+		t.Errorf("scan saw %d, count %d", seen, f.Count())
+	}
+	// Early termination.
+	var n int
+	f.Scan(nil, func(rid RowID, row value.Row) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestColdScanCharges(t *testing.T) {
+	f, st := testFile()
+	for i := 0; i < 3000; i++ {
+		f.Insert(value.Row{value.NewInt(int64(i)), value.NewString("somepayload")})
+	}
+	st.Cool()
+	tr := vclock.NewTracker(vclock.DefaultModel(vclock.HDD))
+	f.Scan(tr, func(RowID, value.Row) bool { return true })
+	if tr.BytesRead == 0 || tr.SeqIO == 0 {
+		t.Errorf("cold scan charged nothing: bytes=%d", tr.BytesRead)
+	}
+	if tr.RandIO != 0 {
+		t.Errorf("heap scan should be sequential, rand=%v", tr.RandIO)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	f, _ := testFile()
+	if f.Get(nil, RowID{Page: 9, Slot: 0}) != nil {
+		t.Error("out-of-range get")
+	}
+	if f.Delete(RowID{Page: 9, Slot: 0}) || f.Update(RowID{Page: 9, Slot: 0}, nil) {
+		t.Error("out-of-range mutation")
+	}
+}
+
+func TestBytesShrinkOnDelete(t *testing.T) {
+	f, _ := testFile()
+	rid := f.Insert(value.Row{value.NewInt(1), value.NewString("0123456789")})
+	before := f.Bytes()
+	f.Delete(rid)
+	if f.Bytes() >= before {
+		t.Errorf("bytes %d -> %d", before, f.Bytes())
+	}
+}
+
+func TestIterMatchesScan(t *testing.T) {
+	f, _ := testFile()
+	for i := 0; i < 500; i++ {
+		f.Insert(value.Row{value.NewInt(int64(i)), value.NewString("x")})
+	}
+	// Delete a few.
+	f.Scan(nil, func(rid RowID, row value.Row) bool {
+		if row[0].Int()%7 == 0 {
+			defer f.Delete(rid)
+		}
+		return true
+	})
+	var scanned []int64
+	f.Scan(nil, func(_ RowID, row value.Row) bool {
+		scanned = append(scanned, row[0].Int())
+		return true
+	})
+	it := f.NewIter(nil)
+	var iterated []int64
+	for {
+		_, row, ok := it.Next()
+		if !ok {
+			break
+		}
+		iterated = append(iterated, row[0].Int())
+	}
+	if len(scanned) != len(iterated) {
+		t.Fatalf("scan %d vs iter %d", len(scanned), len(iterated))
+	}
+	for i := range scanned {
+		if scanned[i] != iterated[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	// Exhausted iterator stays exhausted.
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator revived")
+	}
+}

@@ -1,0 +1,359 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/table"
+	"hybriddb/internal/vclock"
+)
+
+// Resolver maps table names to physical tables.
+type Resolver interface {
+	ResolveTable(name string) (*table.Table, bool)
+}
+
+// Options configure an optimization pass.
+type Options struct {
+	// Model supplies the cost constants and device profiles.
+	Model *vclock.Model
+	// MemGrant is the query's working-memory grant in bytes (0 =
+	// unlimited), driving spill costing and execution.
+	MemGrant int64
+	// NoColumnstore removes columnstore access paths (the paper's
+	// B+-tree-only baseline).
+	NoColumnstore bool
+	// NoElimination disables segment-elimination costing and execution
+	// (ablation).
+	NoElimination bool
+	// NoBatchMode forces row-mode costing for columnstore scans
+	// (ablation).
+	NoBatchMode bool
+}
+
+// Optimize builds the cheapest physical plan for a bound SELECT.
+func Optimize(res Resolver, b *sql.BoundSelect, opts Options) (*plan.Root, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("optimizer: nil cost model")
+	}
+	tables := make([]*table.Table, len(b.Tables))
+	offsets := make([]int, len(b.Tables))
+	widths := make([]int, len(b.Tables))
+	for i, bt := range b.Tables {
+		t, ok := res.ResolveTable(bt.Ref.Table)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: unknown table %q", bt.Ref.Table)
+		}
+		tables[i] = t
+		offsets[i] = bt.Offset
+		widths[i] = bt.Schema.Len()
+	}
+
+	perTable, joins, residual := classify(b.Conjuncts, offsets, widths)
+
+	// Needed columns per table: referenced anywhere in the query.
+	needed := make(map[int]map[int]bool)
+	collect := func(e sql.Expr) {
+		for _, slot := range slotsOf(e) {
+			ti := tableOf(slot, offsets, widths)
+			if ti < 0 {
+				continue
+			}
+			if needed[ti] == nil {
+				needed[ti] = make(map[int]bool)
+			}
+			needed[ti][slot-offsets[ti]] = true
+		}
+	}
+	for _, it := range b.Items {
+		collect(it.Expr)
+	}
+	for _, c := range b.Conjuncts {
+		collect(c)
+	}
+	for _, g := range b.GroupBy {
+		collect(g)
+	}
+	for _, o := range b.OrderBy {
+		if o.Expr != nil {
+			collect(o.Expr)
+		}
+	}
+
+	infos := make([]*tableInfo, len(tables))
+	for i, t := range tables {
+		conj := perTable[i]
+		var need []int
+		for ord := range needed[i] {
+			need = append(need, ord)
+		}
+		if need == nil {
+			need = allOrdinals(t.Schema.Len())
+		}
+		sortInts(need)
+		infos[i] = &tableInfo{
+			idx:       i,
+			slotBase:  offsets[i],
+			conjuncts: conj,
+			ranges:    extractRanges(conj, offsets[i], t.Schema.Len()),
+			needCols:  need,
+		}
+	}
+
+	var (
+		tree     plan.Node
+		treeRows float64
+		cpuWork  time.Duration
+		sorted   bool // output ordered by first table's ClusterKeys[0]
+	)
+	if len(tables) == 1 {
+		cand := bestCandidate(tables[0], infos[0], b, opts)
+		tree = cand.scan
+		treeRows = cand.outRows
+		cpuWork = cand.cpu
+		sorted = cand.sorted
+		setEst(cand.scan, cand.outRows, cand.cost())
+	} else {
+		var err error
+		tree, treeRows, cpuWork, err = joinPlan(tables, infos, joins, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(residual) > 0 {
+		f := &plan.Filter{Input: tree, Conds: residual}
+		treeRows *= math.Pow(0.33, float64(len(residual)))
+		setEst(f, treeRows, nodeCost(tree)+vclock.CPU(int64(treeRows), opts.Model.RowCPU))
+		tree = f
+	}
+
+	outExprs := make([]sql.Expr, len(b.Items))
+	for i, it := range b.Items {
+		outExprs[i] = it.Expr
+	}
+
+	if b.Aggregate {
+		var err error
+		tree, treeRows, outExprs, err = aggPlan(tree, treeRows, b, infos, tables, opts, sorted, &cpuWork)
+		if err != nil {
+			return nil, err
+		}
+		proj := &plan.Project{Input: tree, Exprs: outExprs}
+		setEst(proj, treeRows, nodeCost(tree))
+		tree = proj
+		// ORDER BY on aggregate output items.
+		if len(b.OrderBy) > 0 {
+			keys := make([]plan.SortKey, len(b.OrderBy))
+			for i, o := range b.OrderBy {
+				keys[i] = plan.SortKey{Expr: &sql.ColRef{Slot: o.Item, Kind: sql.ExprKind(b.Items[o.Item].Expr)}, Desc: o.Desc}
+			}
+			srt := &plan.Sort{Input: tree, Keys: keys}
+			setEst(srt, treeRows, nodeCost(tree)+sortCost(opts, treeRows, 64))
+			cpuWork += sortCost(opts, treeRows, 64)
+			tree = srt
+		}
+		if b.Stmt.Top > 0 {
+			top := &plan.Top{Input: tree, N: b.Stmt.Top}
+			setEst(top, math.Min(treeRows, float64(b.Stmt.Top)), nodeCost(tree))
+			tree = top
+		}
+	} else {
+		// Non-aggregate: Sort (composite layout) -> Top -> Project.
+		if len(b.OrderBy) > 0 && !orderSatisfied(b, infos, tables, sorted) {
+			keys := make([]plan.SortKey, len(b.OrderBy))
+			for i, o := range b.OrderBy {
+				e := o.Expr
+				if e == nil {
+					e = b.Items[o.Item].Expr
+				}
+				keys[i] = plan.SortKey{Expr: e, Desc: o.Desc}
+			}
+			rowW := float64(64)
+			srt := &plan.Sort{Input: tree, Keys: keys}
+			sc := sortCost(opts, treeRows, rowW)
+			setEst(srt, treeRows, nodeCost(tree)+sc)
+			cpuWork += sc
+			tree = srt
+		}
+		if b.Stmt.Top > 0 {
+			top := &plan.Top{Input: tree, N: b.Stmt.Top}
+			setEst(top, math.Min(treeRows, float64(b.Stmt.Top)), nodeCost(tree))
+			tree = top
+		}
+		proj := &plan.Project{Input: tree, Exprs: outExprs}
+		rows, _ := tree.Estimate()
+		setEst(proj, rows, nodeCost(tree))
+		tree = proj
+	}
+
+	root := &plan.Root{Input: tree, MemGrant: opts.MemGrant}
+	rows, cost := tree.Estimate()
+	root.Rows, root.Cost = rows, cost
+	root.DOP = 1
+	if cpuWork > opts.Model.ParallelCostThreshold {
+		root.DOP = opts.Model.MaxDOP
+	}
+	for _, it := range b.Items {
+		root.Columns = append(root.Columns, it.Alias)
+	}
+	return root, nil
+}
+
+// nodeCost returns a node's cumulative estimated cost.
+func nodeCost(n plan.Node) time.Duration {
+	_, c := n.Estimate()
+	return c
+}
+
+func setEst(n plan.Node, rows float64, cost time.Duration) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		node.Rows, node.Cost = rows, cost
+	case *plan.Filter:
+		node.Rows, node.Cost = rows, cost
+	case *plan.Join:
+		node.Rows, node.Cost = rows, cost
+	case *plan.Agg:
+		node.Rows, node.Cost = rows, cost
+	case *plan.Project:
+		node.Rows, node.Cost = rows, cost
+	case *plan.Sort:
+		node.Rows, node.Cost = rows, cost
+	case *plan.Top:
+		node.Rows, node.Cost = rows, cost
+	}
+}
+
+// sortCost estimates an n log n sort, including spill I/O if the data
+// exceeds the memory grant.
+func sortCost(opts Options, rows, rowWidth float64) time.Duration {
+	if rows < 2 {
+		return 0
+	}
+	m := opts.Model
+	comparisons := rows * math.Log2(rows+1)
+	c := vclock.CPU(int64(comparisons), m.SortCPU)
+	bytes := rows * rowWidth
+	if opts.MemGrant > 0 && bytes > float64(opts.MemGrant) {
+		c += m.Temp.WriteTime(int64(bytes), 4) + m.Temp.ReadTime(int64(bytes), 4)
+	}
+	return c
+}
+
+// bestCandidate picks the cheapest access path for a single-table
+// query, accounting for downstream aggregation and ordering (e.g. a
+// clustered scan enables a stream aggregate or avoids a sort).
+func bestCandidate(t *table.Table, info *tableInfo, b *sql.BoundSelect, opts Options) accessCand {
+	cands := candidates(t, info, opts)
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("optimizer: no access path for %s", t.Name))
+	}
+	best := cands[0]
+	bestTotal := time.Duration(math.MaxInt64)
+	for _, c := range cands {
+		total := c.cost() + downstreamCost(t, info, b, opts, &c)
+		if total < bestTotal {
+			bestTotal = total
+			best = c
+		}
+	}
+	return best
+}
+
+// downstreamCost estimates aggregation/sort work that depends on the
+// access path choice.
+func downstreamCost(t *table.Table, info *tableInfo, b *sql.BoundSelect, opts Options, c *accessCand) time.Duration {
+	m := opts.Model
+	var cost time.Duration
+	if b.Aggregate && len(b.GroupBy) > 0 {
+		groupOrd := b.GroupBy[0].Slot - info.slotBase
+		streamOK := c.sorted && len(t.ClusterKeys) > 0 && t.ClusterKeys[0] == groupOrd && len(b.GroupBy) == 1
+		if streamOK {
+			cost += vclock.CPU(int64(c.outRows), m.AggCPU)
+		} else {
+			groups := t.Histogram(groupOrd).Distinct
+			perRow := m.HashCPU + m.AggCPU
+			if c.scan.BatchMode {
+				perRow = m.BatchCPU * 3
+			}
+			cost += vclock.CPU(int64(c.outRows), perRow)
+			bytes := groups * 128
+			if opts.MemGrant > 0 && bytes > float64(opts.MemGrant) {
+				cost += m.Temp.WriteTime(int64(bytes*4), 8) + m.Temp.ReadTime(int64(bytes*4), 8)
+			}
+		}
+	} else if b.Aggregate {
+		// Scalar aggregate: one pass.
+		perRow := m.AggCPU
+		if c.scan.BatchMode {
+			perRow = m.BatchCPU
+		}
+		cost += vclock.CPU(int64(c.outRows), perRow)
+	}
+	if !b.Aggregate && len(b.OrderBy) > 0 {
+		if !orderSatisfiedByCand(b, info, t, c) {
+			cost += sortCost(opts, c.outRows, float64(t.Schema.RowWidth()))
+		}
+	}
+	return cost
+}
+
+// orderSatisfiedByCand reports whether the candidate's output order
+// already satisfies ORDER BY (single ascending key on the cluster
+// column).
+func orderSatisfiedByCand(b *sql.BoundSelect, info *tableInfo, t *table.Table, c *accessCand) bool {
+	if !c.sorted || len(b.OrderBy) != 1 || b.OrderBy[0].Desc {
+		return false
+	}
+	e := b.OrderBy[0].Expr
+	if e == nil && b.OrderBy[0].Item >= 0 {
+		e = b.Items[b.OrderBy[0].Item].Expr
+	}
+	col, ok := e.(*sql.ColRef)
+	return ok && len(t.ClusterKeys) > 0 && col.Slot-info.slotBase == t.ClusterKeys[0]
+}
+
+func orderSatisfied(b *sql.BoundSelect, infos []*tableInfo, tables []*table.Table, sorted bool) bool {
+	if len(tables) != 1 || !sorted || len(b.OrderBy) != 1 || b.OrderBy[0].Desc {
+		return false
+	}
+	e := b.OrderBy[0].Expr
+	if e == nil && b.OrderBy[0].Item >= 0 {
+		e = b.Items[b.OrderBy[0].Item].Expr
+	}
+	col, ok := e.(*sql.ColRef)
+	return ok && len(tables[0].ClusterKeys) > 0 && col.Slot-infos[0].slotBase == tables[0].ClusterKeys[0]
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// ChooseDMLScan picks the cheapest access path to locate the rows a
+// DML statement targets (all columns needed, single table).
+func ChooseDMLScan(t *table.Table, conjuncts []sql.Expr, opts Options) *plan.Scan {
+	info := &tableInfo{
+		idx:       0,
+		slotBase:  0,
+		conjuncts: conjuncts,
+		ranges:    extractRanges(conjuncts, 0, t.Schema.Len()),
+		needCols:  allOrdinals(t.Schema.Len()),
+	}
+	cands := candidates(t, info, opts)
+	best := cands[0]
+	for _, c := range cands {
+		if c.cost() < best.cost() {
+			best = c
+		}
+	}
+	setEst(best.scan, best.outRows, best.cost())
+	return best.scan
+}

@@ -1,0 +1,57 @@
+package plan
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWalkAndLeafAccess(t *testing.T) {
+	scanA := &Scan{Access: AccessCSIScan}
+	scanB := &Scan{Access: AccessSecondarySeek}
+	j := &Join{Strategy: JoinHash, Outer: scanA, Inner: scanB}
+	agg := &Agg{Input: j, Strategy: AggHash}
+	root := &Root{Input: &Project{Input: agg}}
+
+	var visited int
+	Walk(root, func(Node) { visited++ })
+	if visited != 6 {
+		t.Errorf("visited %d nodes", visited)
+	}
+	leaves := LeafAccess(root.Input)
+	if len(leaves) != 2 || leaves[0] != AccessCSIScan || leaves[1] != AccessSecondarySeek {
+		t.Errorf("leaves = %v", leaves)
+	}
+	Walk(nil, func(Node) { t.Fatal("walk of nil visited a node") })
+}
+
+func TestDescribeAndEstimate(t *testing.T) {
+	nodes := []Node{
+		&Filter{}, &Project{}, &Sort{}, &Top{},
+		&Join{Strategy: JoinNestedLoop}, &Join{Strategy: JoinHash},
+		&Agg{Strategy: AggHash}, &Agg{Strategy: AggStream}, &Root{},
+	}
+	for _, n := range nodes {
+		if n.Describe() == "" {
+			t.Errorf("%T has empty description", n)
+		}
+	}
+	e := Est{Rows: 42, Cost: time.Second}
+	r, c := e.Estimate()
+	if r != 42 || c != time.Second {
+		t.Errorf("estimate = %v %v", r, c)
+	}
+	for k := AccessHeapScan; k <= AccessCSIScan; k++ {
+		if k.String() == "" {
+			t.Errorf("access kind %d has no name", k)
+		}
+	}
+}
+
+func TestAggFuncNames(t *testing.T) {
+	want := []string{"COUNT", "SUM", "AVG", "MIN", "MAX"}
+	for i, w := range want {
+		if AggFunc(i).String() != w {
+			t.Errorf("AggFunc(%d) = %s", i, AggFunc(i))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sql
+
+import (
+	"fmt"
+
+	"hybriddb/internal/value"
+)
+
+// Eval evaluates a bound expression against a composite row laid out
+// by slot (see Binder). Aggregate calls must have been replaced before
+// evaluation; hitting one panics, indicating a planner bug.
+func Eval(e Expr, row value.Row) value.Value {
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val
+	case *ColRef:
+		return row[n.Slot]
+	case *BinOp:
+		return evalBinOp(n, row)
+	case *UnOp:
+		v := Eval(n.E, row)
+		switch n.Op {
+		case "NOT":
+			if v.IsNull() {
+				return value.Null
+			}
+			return value.NewBool(!v.Bool())
+		case "-":
+			if v.IsNull() {
+				return value.Null
+			}
+			if v.Kind() == value.KindFloat {
+				return value.NewFloat(-v.Float())
+			}
+			return value.NewInt(-v.Int())
+		}
+	case *Between:
+		v := Eval(n.E, row)
+		lo := Eval(n.Lo, row)
+		hi := Eval(n.Hi, row)
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return value.Null
+		}
+		in := value.Compare(v, lo) >= 0 && value.Compare(v, hi) <= 0
+		if n.Not {
+			in = !in
+		}
+		return value.NewBool(in)
+	case *IsNull:
+		v := Eval(n.E, row)
+		if n.Not {
+			return value.NewBool(!v.IsNull())
+		}
+		return value.NewBool(v.IsNull())
+	case *InList:
+		v := Eval(n.E, row)
+		if v.IsNull() {
+			return value.Null
+		}
+		found := false
+		for _, le := range n.List {
+			lv := Eval(le, row)
+			if !lv.IsNull() && value.Compare(v, lv) == 0 {
+				found = true
+				break
+			}
+		}
+		if n.Not {
+			found = !found
+		}
+		return value.NewBool(found)
+	case *FuncCall:
+		return evalFunc(n, row)
+	case *AggCall:
+		panic("sql: aggregate evaluated as scalar")
+	}
+	panic(fmt.Sprintf("sql: cannot evaluate %T", e))
+}
+
+func evalBinOp(n *BinOp, row value.Row) value.Value {
+	switch n.Op {
+	case "AND":
+		l := Eval(n.L, row)
+		if !l.IsNull() && !l.Bool() {
+			return value.NewBool(false)
+		}
+		r := Eval(n.R, row)
+		if !r.IsNull() && !r.Bool() {
+			return value.NewBool(false)
+		}
+		if l.IsNull() || r.IsNull() {
+			return value.Null
+		}
+		return value.NewBool(true)
+	case "OR":
+		l := Eval(n.L, row)
+		if !l.IsNull() && l.Bool() {
+			return value.NewBool(true)
+		}
+		r := Eval(n.R, row)
+		if !r.IsNull() && r.Bool() {
+			return value.NewBool(true)
+		}
+		if l.IsNull() || r.IsNull() {
+			return value.Null
+		}
+		return value.NewBool(false)
+	}
+	l := Eval(n.L, row)
+	r := Eval(n.R, row)
+	switch n.Op {
+	case "+":
+		return value.Add(l, r)
+	case "-":
+		return value.Sub(l, r)
+	case "*":
+		return value.Mul(l, r)
+	case "/":
+		return value.Div(l, r)
+	case "%":
+		if l.IsNull() || r.IsNull() || r.Int() == 0 {
+			return value.Null
+		}
+		return value.NewInt(l.Int() % r.Int())
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null
+	}
+	c := value.Compare(l, r)
+	switch n.Op {
+	case "=":
+		return value.NewBool(c == 0)
+	case "<>":
+		return value.NewBool(c != 0)
+	case "<":
+		return value.NewBool(c < 0)
+	case "<=":
+		return value.NewBool(c <= 0)
+	case ">":
+		return value.NewBool(c > 0)
+	case ">=":
+		return value.NewBool(c >= 0)
+	}
+	panic(fmt.Sprintf("sql: unknown operator %q", n.Op))
+}
+
+func evalFunc(n *FuncCall, row value.Row) value.Value {
+	switch n.Name {
+	case "DATEADD_DAY", "DATEADD_MONTH", "DATEADD_YEAR":
+		amt := Eval(n.Args[0], row)
+		d := Eval(n.Args[1], row)
+		if amt.IsNull() || d.IsNull() {
+			return value.Null
+		}
+		days := d.Int()
+		switch n.Name {
+		case "DATEADD_DAY":
+			return value.NewDate(days + amt.Int())
+		case "DATEADD_MONTH":
+			return value.NewDate(days + amt.Int()*30)
+		default:
+			return value.NewDate(days + amt.Int()*365)
+		}
+	}
+	panic(fmt.Sprintf("sql: unknown function %q", n.Name))
+}
+
+// Truthy reports whether a predicate result selects the row (three-
+// valued logic: NULL is not true).
+func Truthy(v value.Value) bool {
+	return !v.IsNull() && v.Kind() == value.KindBool && v.Bool()
+}

@@ -1,0 +1,165 @@
+// Package sql implements the SQL subset the engine speaks: SELECT with
+// joins, aggregation, grouping, ordering and TOP; INSERT, UPDATE
+// (including the += form the paper's update statement Q4 uses), DELETE;
+// and DDL for tables and B+ tree / columnstore indexes. The binder
+// resolves names against a catalog and types every expression.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "ASC": true, "DESC": true, "TOP": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "DROP": true, "TABLE": true, "INDEX": true,
+	"ON": true, "CLUSTERED": true, "NONCLUSTERED": true, "COLUMNSTORE": true,
+	"INCLUDE": true, "PRIMARY": true, "KEY": true, "JOIN": true, "INNER": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "IS": true, "LIKE": true,
+	"BIGINT": true, "INT": true, "INTEGER": true, "DOUBLE": true, "FLOAT": true,
+	"VARCHAR": true, "DATE": true, "BOOLEAN": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "DISTINCT": true, "HAVING": true,
+	"LIMIT": true, "DATEADD": true, "DAY": true, "MONTH": true, "YEAR": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning an error with position on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.ident()
+		case unicode.IsDigit(rune(c)):
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.punct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	up := strings.ToUpper(text)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(text), pos: start})
+	}
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("sql: bad number at %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) punct() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "+=", "-=":
+		l.toks = append(l.toks, token{kind: tokPunct, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';', '%':
+		l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

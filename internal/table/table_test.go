@@ -1,0 +1,334 @@
+package table
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hybriddb/internal/storage"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	st := storage.NewStore(0)
+	sch := value.NewSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "v", Kind: value.KindInt},
+		value.Column{Name: "s", Kind: value.KindString},
+	)
+	tb := New(st, "test", sch, []int{0})
+	tb.SetRowGroupSize(1024)
+	return tb
+}
+
+func loadRows(tb *Table, n int) {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i % 13)),
+			value.NewString("row"),
+		}
+	}
+	tb.BulkLoad(nil, rows)
+}
+
+func ids(tb *Table) []int64 {
+	rows, _ := tb.AllRows(nil)
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].Int()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func checkIDs(t *testing.T, tb *Table, want []int64) {
+	t.Helper()
+	got := ids(tb)
+	if len(got) != len(want) {
+		t.Fatalf("%s primary: %d rows, want %d", tb.Primary(), len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s primary: ids[%d] = %d, want %d", tb.Primary(), i, got[i], want[i])
+		}
+	}
+}
+
+func wantRange(n int, exclude func(int64) bool) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		if exclude == nil || !exclude(int64(i)) {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+// TestDMLAcrossPrimaries runs the same insert/delete/update workload
+// against all three primary structures and checks identical logical
+// state.
+func TestDMLAcrossPrimaries(t *testing.T) {
+	for _, kind := range []PrimaryKind{PrimaryHeap, PrimaryBTree, PrimaryColumnstore} {
+		tb := newTestTable(t)
+		loadRows(tb, 3000)
+		tb.ConvertPrimary(nil, kind, []int{0})
+		if tb.Primary() != kind {
+			t.Fatalf("primary = %v", tb.Primary())
+		}
+		checkIDs(t, tb, wantRange(3000, nil))
+
+		// Trickle inserts.
+		tb.Insert(nil, value.Row{value.NewInt(5000), value.NewInt(1), value.NewString("new")})
+		tb.Insert(nil, value.Row{value.NewInt(5001), value.NewInt(2), value.NewString("new")})
+		if tb.RowCount() != 3002 {
+			t.Fatalf("%v: count = %d", kind, tb.RowCount())
+		}
+
+		// Delete ids < 100 plus one inserted row.
+		rows, uids := tb.AllRows(nil)
+		var matches []Match
+		for i, r := range rows {
+			if r[0].Int() < 100 || r[0].Int() == 5000 {
+				matches = append(matches, Match{Row: r, UID: uids[i]})
+			}
+		}
+		if got := tb.Delete(nil, matches); got != 101 {
+			t.Fatalf("%v: deleted %d", kind, got)
+		}
+		want := wantRange(3000, func(i int64) bool { return i < 100 })
+		want = append(want, 5001)
+		checkIDs(t, tb, want)
+
+		// Update: bump v for ids in [100, 110).
+		rows, uids = tb.AllRows(nil)
+		var ups []Update
+		for i, r := range rows {
+			if id := r[0].Int(); id >= 100 && id < 110 {
+				n := r.Clone()
+				n[1] = value.NewInt(999)
+				ups = append(ups, Update{Old: r, New: n, UID: uids[i]})
+			}
+		}
+		if got := tb.ApplyUpdates(nil, ups); got != 10 {
+			t.Fatalf("%v: updated %d", kind, got)
+		}
+		rows, _ = tb.AllRows(nil)
+		cnt := 0
+		for _, r := range rows {
+			if r[1].Int() == 999 {
+				cnt++
+				if r[0].Int() < 100 || r[0].Int() >= 110 {
+					t.Fatalf("%v: wrong row updated: %v", kind, r)
+				}
+			}
+		}
+		if cnt != 10 {
+			t.Fatalf("%v: %d rows updated", kind, cnt)
+		}
+	}
+}
+
+func TestSecondaryBTreeMaintenance(t *testing.T) {
+	tb := newTestTable(t)
+	loadRows(tb, 2000)
+	sec := tb.AddSecondaryBTree(nil, "ix_v", []int{1}, []int{0})
+	if sec.Tree.Count() != 2000 {
+		t.Fatalf("secondary count = %d", sec.Tree.Count())
+	}
+	// Insert reflects into secondary.
+	tb.Insert(nil, value.Row{value.NewInt(9000), value.NewInt(7), value.NewString("x")})
+	if sec.Tree.Count() != 2001 {
+		t.Fatalf("after insert: %d", sec.Tree.Count())
+	}
+	// Range over v=7 via the secondary returns ids with v=7.
+	count := 0
+	for it := sec.Tree.Seek(nil, value.Row{value.NewInt(7)}); it.Valid(); it.Next() {
+		if it.Key()[0].Int() != 7 {
+			break
+		}
+		count++
+	}
+	want := 2000/13 + 1 // ids where i%13==7, plus the inserted row
+	if count < want-1 || count > want+1 {
+		t.Fatalf("secondary range count = %d, want ~%d", count, want)
+	}
+	// Delete reflects into secondary.
+	rows, uids := tb.AllRows(nil)
+	var matches []Match
+	for i, r := range rows {
+		if r[1].Int() == 7 {
+			matches = append(matches, Match{Row: r, UID: uids[i]})
+		}
+	}
+	tb.Delete(nil, matches)
+	for it := sec.Tree.Seek(nil, value.Row{value.NewInt(7)}); it.Valid(); it.Next() {
+		if it.Key()[0].Int() == 7 {
+			t.Fatal("deleted key still in secondary")
+		}
+		break
+	}
+}
+
+func TestSecondaryCSIMaintenance(t *testing.T) {
+	tb := newTestTable(t)
+	loadRows(tb, 2000)
+	tb.ConvertPrimary(nil, PrimaryBTree, []int{0})
+	sec := tb.AddSecondaryCSI(nil, "csi_all")
+	if sec.CSI.Rows() != 2000 {
+		t.Fatalf("csi rows = %d", sec.CSI.Rows())
+	}
+	if sec.CSI.Primary() {
+		t.Fatal("secondary CSI marked primary")
+	}
+	// Only one CSI allowed.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second CSI did not panic")
+			}
+		}()
+		tb.AddSecondaryCSI(nil, "csi_two")
+	}()
+	// Deletes go through the delete buffer.
+	rows, uids := tb.AllRows(nil)
+	tb.Delete(nil, []Match{{Row: rows[0], UID: uids[0]}, {Row: rows[1], UID: uids[1]}})
+	if sec.CSI.BufferedDeletes() != 2 {
+		t.Fatalf("buffered deletes = %d", sec.CSI.BufferedDeletes())
+	}
+	if sec.CSI.Rows() != 1998 {
+		t.Fatalf("csi rows after delete = %d", sec.CSI.Rows())
+	}
+	// Updates: delete buffer + delta insert.
+	rows, uids = tb.AllRows(nil)
+	n := rows[0].Clone()
+	n[1] = value.NewInt(-1)
+	tb.ApplyUpdates(nil, []Update{{Old: rows[0], New: n, UID: uids[0]}})
+	if sec.CSI.DeltaRows() != 1 {
+		t.Fatalf("delta rows = %d", sec.CSI.DeltaRows())
+	}
+	// Tuple move cleans both.
+	tb.TupleMove(nil)
+	if sec.CSI.BufferedDeletes() != 0 || sec.CSI.DeltaRows() != 0 {
+		t.Fatal("tuple move incomplete")
+	}
+	if sec.CSI.Rows() != 1998 {
+		t.Fatalf("csi rows after tuple move = %d", sec.CSI.Rows())
+	}
+}
+
+func TestPrimaryCSIDeleteCostsScan(t *testing.T) {
+	// The locate-by-scan cost of primary-columnstore deletes (Section
+	// 3.3) only dominates at scale: delete the most recently loaded row
+	// of a 100k-row table so the locator scan runs to the last rowgroup.
+	const n = 100000
+	tb := newTestTable(t)
+	tb.SetRowGroupSize(8192)
+	loadRows(tb, n)
+	tb.ConvertPrimary(nil, PrimaryColumnstore, nil)
+	m := vclock.DefaultModel(vclock.DRAM)
+
+	rows, uids := tb.AllRows(nil)
+	last := 0
+	for i, u := range uids {
+		if u > uids[last] {
+			last = i
+		}
+	}
+	trCSI := vclock.NewTracker(m)
+	tb.Delete(trCSI, []Match{{Row: rows[last], UID: uids[last]}})
+
+	tb2 := newTestTable(t)
+	tb2.SetRowGroupSize(8192)
+	loadRows(tb2, n)
+	tb2.ConvertPrimary(nil, PrimaryBTree, []int{0})
+	rows2, uids2 := tb2.AllRows(nil)
+	trBT := vclock.NewTracker(m)
+	tb2.Delete(trBT, []Match{{Row: rows2[last], UID: uids2[last]}})
+
+	if trCSI.CPUTime() <= trBT.CPUTime()*2 {
+		t.Errorf("primary CSI delete cpu %v should far exceed B+ tree delete %v", trCSI.CPUTime(), trBT.CPUTime())
+	}
+}
+
+func TestHypotheticalIndexesIgnoredByDML(t *testing.T) {
+	tb := newTestTable(t)
+	loadRows(tb, 100)
+	tb.AddHypothetical(&Secondary{Name: "hyp", Keys: []int{1}, EstRows: 100})
+	tb.Insert(nil, value.Row{value.NewInt(999), value.NewInt(0), value.NewString("x")})
+	s := tb.FindSecondary("hyp")
+	if s == nil || !s.Hypothetical {
+		t.Fatal("hypothetical lost")
+	}
+	if s.Tree != nil {
+		t.Fatal("hypothetical index materialized")
+	}
+	if !tb.DropSecondary("hyp") || tb.FindSecondary("hyp") != nil {
+		t.Fatal("drop failed")
+	}
+	if tb.DropSecondary("hyp") {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	tb := newTestTable(t)
+	rng := rand.New(rand.NewSource(4))
+	rows := make([]value.Row, 20000)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(rng.Int63n(1000)),
+			value.NewInt(int64(i % 10)),
+			value.NewString("r"),
+		}
+	}
+	tb.BulkLoad(nil, rows)
+	h := tb.Histogram(0)
+	got := h.SelectivityRange(value.NewInt(0), value.NewInt(99))
+	if got < 0.05 || got > 0.15 {
+		t.Errorf("sel = %v, want ~0.1", got)
+	}
+	// Histogram invalidated by DML.
+	rows2, uids := tb.AllRows(nil)
+	var matches []Match
+	for i := 0; i < 10000; i++ {
+		matches = append(matches, Match{Row: rows2[i], UID: uids[i]})
+	}
+	tb.Delete(nil, matches)
+	h2 := tb.Histogram(0)
+	if h2 == h {
+		t.Error("histogram not invalidated")
+	}
+}
+
+func TestConvertPrimaryPreservesSecondaries(t *testing.T) {
+	tb := newTestTable(t)
+	loadRows(tb, 500)
+	sec := tb.AddSecondaryBTree(nil, "ix", []int{1}, nil)
+	tb.ConvertPrimary(nil, PrimaryColumnstore, nil)
+	if sec.Tree.Count() != 500 {
+		t.Errorf("secondary lost rows: %d", sec.Tree.Count())
+	}
+	checkIDs(t, tb, wantRange(500, nil))
+	tb.ConvertPrimary(nil, PrimaryHeap, nil)
+	checkIDs(t, tb, wantRange(500, nil))
+}
+
+func TestPrimaryBytes(t *testing.T) {
+	tb := newTestTable(t)
+	loadRows(tb, 5000)
+	heapB := tb.PrimaryBytes()
+	tb.ConvertPrimary(nil, PrimaryBTree, []int{0})
+	btB := tb.PrimaryBytes()
+	tb.ConvertPrimary(nil, PrimaryColumnstore, nil)
+	cciB := tb.PrimaryBytes()
+	if heapB == 0 || btB == 0 || cciB == 0 {
+		t.Fatalf("sizes: heap=%d bt=%d cci=%d", heapB, btB, cciB)
+	}
+	if cciB >= btB {
+		t.Errorf("columnstore %d should compress below b+tree %d", cciB, btB)
+	}
+}

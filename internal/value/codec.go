@@ -1,0 +1,88 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeRow appends a self-describing binary encoding of the row to dst
+// and returns the extended slice. Unlike EncodeKey the encoding is not
+// order-preserving; it is compact and reversible, used for spill files
+// and delta-store payloads.
+func EncodeRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindInt, KindDate:
+			dst = binary.AppendVarint(dst, v.i)
+		case KindFloat:
+			dst = binary.AppendUvarint(dst, math.Float64bits(v.f))
+		case KindBool:
+			dst = append(dst, byte(v.i))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from buf, returning the row and the number
+// of bytes consumed.
+func DecodeRow(buf []byte) (Row, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("value: corrupt row header")
+	}
+	off := sz
+	row := make(Row, n)
+	for i := range row {
+		if off >= len(buf) {
+			return nil, 0, fmt.Errorf("value: truncated row")
+		}
+		k := Kind(buf[off])
+		off++
+		switch k {
+		case KindNull:
+			row[i] = Null
+		case KindInt, KindDate:
+			v, sz := binary.Varint(buf[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("value: corrupt int at col %d", i)
+			}
+			off += sz
+			if k == KindInt {
+				row[i] = NewInt(v)
+			} else {
+				row[i] = NewDate(v)
+			}
+		case KindFloat:
+			v, sz := binary.Uvarint(buf[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("value: corrupt float at col %d", i)
+			}
+			off += sz
+			row[i] = NewFloat(math.Float64frombits(v))
+		case KindBool:
+			row[i] = NewBool(buf[off] != 0)
+			off++
+		case KindString:
+			n, sz := binary.Uvarint(buf[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("value: corrupt string at col %d", i)
+			}
+			off += sz
+			if off+int(n) > len(buf) {
+				return nil, 0, fmt.Errorf("value: truncated string at col %d", i)
+			}
+			row[i] = NewString(string(buf[off : off+int(n)]))
+			off += int(n)
+		default:
+			return nil, 0, fmt.Errorf("value: unknown kind %d at col %d", k, i)
+		}
+	}
+	return row, off, nil
+}

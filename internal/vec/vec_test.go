@@ -1,0 +1,70 @@
+package vec
+
+import (
+	"testing"
+
+	"hybriddb/internal/value"
+)
+
+func TestVecAppendAndValue(t *testing.T) {
+	v := NewVec(value.KindInt)
+	v.Append(value.NewInt(5))
+	v.Append(value.Null)
+	v.Append(value.NewInt(7))
+	if v.Len() != 3 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	if v.Value(0).Int() != 5 || !v.Value(1).IsNull() || v.Value(2).Int() != 7 {
+		t.Errorf("values: %v %v %v", v.Value(0), v.Value(1), v.Value(2))
+	}
+	if v.IsNull(0) || !v.IsNull(1) {
+		t.Error("null tracking broken")
+	}
+}
+
+func TestVecKinds(t *testing.T) {
+	f := NewVec(value.KindFloat)
+	f.Append(value.NewFloat(1.5))
+	if f.Value(0).Float() != 1.5 {
+		t.Error("float")
+	}
+	s := NewVec(value.KindString)
+	s.Append(value.NewString("x"))
+	if s.Value(0).Str() != "x" {
+		t.Error("string")
+	}
+	b := NewVec(value.KindBool)
+	b.Append(value.NewBool(true))
+	if !b.Value(0).Bool() {
+		t.Error("bool")
+	}
+	d := NewVec(value.KindDate)
+	d.Append(value.NewDate(100))
+	if d.Value(0).Kind() != value.KindDate || d.Value(0).Int() != 100 {
+		t.Error("date")
+	}
+}
+
+func TestBatchSelection(t *testing.T) {
+	b := NewBatch([]value.Kind{value.KindInt, value.KindString})
+	for i := 0; i < 10; i++ {
+		b.AppendRow(value.Row{value.NewInt(int64(i)), value.NewString("r")})
+	}
+	if b.Len() != 10 || b.Cap() != 10 {
+		t.Fatalf("len=%d cap=%d", b.Len(), b.Cap())
+	}
+	b.Sel = []int{2, 5, 9}
+	if b.Len() != 3 {
+		t.Fatalf("selected len = %d", b.Len())
+	}
+	if b.Row(1)[0].Int() != 5 {
+		t.Errorf("row(1) = %v", b.Row(1))
+	}
+	if b.LiveIndex(2) != 9 {
+		t.Errorf("live index = %d", b.LiveIndex(2))
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Sel != nil {
+		t.Error("reset incomplete")
+	}
+}

@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybriddb/internal/engine"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// CHConfig sizes the CH benchmark (TPC-C schema + analytic queries).
+type CHConfig struct {
+	Warehouses    int
+	DistrictsPerW int
+	CustomersPerD int
+	ItemCount     int
+	OrdersPerD    int
+	Seed          int64
+	RowGroupSize  int
+}
+
+// DefaultCH returns a laptop-scale CH configuration standing in for
+// the paper's 1000-warehouse database.
+func DefaultCH() CHConfig {
+	return CHConfig{
+		Warehouses:    4,
+		DistrictsPerW: 10,
+		CustomersPerD: 300,
+		ItemCount:     2000,
+		OrdersPerD:    500,
+		Seed:          21,
+		RowGroupSize:  1 << 13,
+	}
+}
+
+const chEpoch = 13514 // 2007-01-01 in days since the Unix epoch
+
+// BuildCH generates the 12-table CH database (9 TPC-C tables plus the
+// region/nation/supplier extension) with clustered B+ tree primaries —
+// the OLTP design the C transactions expect.
+func BuildCH(model *vclock.Model, cfg CHConfig) *engine.Database {
+	db := engine.New(model, 0)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mustTable := func(ddl, name string) {
+		if _, err := db.Exec(ddl); err != nil {
+			panic(fmt.Sprintf("workload: %s: %v", name, err))
+		}
+		db.Table(name).SetRowGroupSize(cfg.RowGroupSize)
+	}
+
+	mustTable(`CREATE TABLE warehouse (w_id BIGINT, w_tax DOUBLE, w_ytd DOUBLE, w_name VARCHAR(10), PRIMARY KEY (w_id))`, "warehouse")
+	mustTable(`CREATE TABLE district (d_w_id BIGINT, d_id BIGINT, d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id BIGINT, PRIMARY KEY (d_w_id, d_id))`, "district")
+	mustTable(`CREATE TABLE ch_customer (c_w_id BIGINT, c_d_id BIGINT, c_id BIGINT, c_balance DOUBLE, c_ytd_payment DOUBLE, c_payment_cnt BIGINT, c_credit VARCHAR(2), c_last VARCHAR(16), PRIMARY KEY (c_w_id, c_d_id, c_id))`, "ch_customer")
+	mustTable(`CREATE TABLE history (h_c_id BIGINT, h_c_d_id BIGINT, h_c_w_id BIGINT, h_amount DOUBLE, h_date DATE)`, "history")
+	mustTable(`CREATE TABLE neworder (no_w_id BIGINT, no_d_id BIGINT, no_o_id BIGINT, PRIMARY KEY (no_w_id, no_d_id, no_o_id))`, "neworder")
+	mustTable(`CREATE TABLE oorder (o_w_id BIGINT, o_d_id BIGINT, o_id BIGINT, o_c_id BIGINT, o_carrier_id BIGINT, o_ol_cnt BIGINT, o_entry_d DATE, PRIMARY KEY (o_w_id, o_d_id, o_id))`, "oorder")
+	mustTable(`CREATE TABLE orderline (ol_w_id BIGINT, ol_d_id BIGINT, ol_o_id BIGINT, ol_number BIGINT, ol_i_id BIGINT, ol_supply_w_id BIGINT, ol_quantity DOUBLE, ol_amount DOUBLE, ol_delivery_d DATE, PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))`, "orderline")
+	mustTable(`CREATE TABLE ch_item (i_id BIGINT, i_im_id BIGINT, i_price DOUBLE, i_name VARCHAR(24), PRIMARY KEY (i_id))`, "ch_item")
+	mustTable(`CREATE TABLE stock (s_w_id BIGINT, s_i_id BIGINT, s_quantity BIGINT, s_ytd DOUBLE, s_order_cnt BIGINT, PRIMARY KEY (s_w_id, s_i_id))`, "stock")
+	mustTable(`CREATE TABLE ch_region (r_id BIGINT, r_name VARCHAR(16), PRIMARY KEY (r_id))`, "ch_region")
+	mustTable(`CREATE TABLE ch_nation (n_id BIGINT, n_r_id BIGINT, n_name VARCHAR(16), PRIMARY KEY (n_id))`, "ch_nation")
+	mustTable(`CREATE TABLE ch_supplier (su_id BIGINT, su_n_id BIGINT, su_acctbal DOUBLE, su_name VARCHAR(20), PRIMARY KEY (su_id))`, "ch_supplier")
+
+	var rows []value.Row
+	for w := 0; w < cfg.Warehouses; w++ {
+		rows = append(rows, value.Row{
+			value.NewInt(int64(w)), value.NewFloat(rng.Float64() * 0.2),
+			value.NewFloat(300000), value.NewString(fmt.Sprintf("W%03d", w)),
+		})
+	}
+	db.Table("warehouse").BulkLoad(nil, rows)
+
+	rows = nil
+	for w := 0; w < cfg.Warehouses; w++ {
+		for d := 0; d < cfg.DistrictsPerW; d++ {
+			rows = append(rows, value.Row{
+				value.NewInt(int64(w)), value.NewInt(int64(d)),
+				value.NewFloat(rng.Float64() * 0.2), value.NewFloat(30000),
+				value.NewInt(int64(cfg.OrdersPerD)),
+			})
+		}
+	}
+	db.Table("district").BulkLoad(nil, rows)
+
+	credits := []string{"GC", "BC"}
+	rows = nil
+	for w := 0; w < cfg.Warehouses; w++ {
+		for d := 0; d < cfg.DistrictsPerW; d++ {
+			for c := 0; c < cfg.CustomersPerD; c++ {
+				rows = append(rows, value.Row{
+					value.NewInt(int64(w)), value.NewInt(int64(d)), value.NewInt(int64(c)),
+					value.NewFloat(-10 + rng.Float64()*1000), value.NewFloat(10),
+					value.NewInt(1), value.NewString(credits[rng.Intn(2)]),
+					value.NewString(fmt.Sprintf("LAST%04d", rng.Intn(1000))),
+				})
+			}
+		}
+	}
+	db.Table("ch_customer").BulkLoad(nil, rows)
+
+	rows = nil
+	for i := 0; i < cfg.ItemCount; i++ {
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)), value.NewInt(rng.Int63n(10000)),
+			value.NewFloat(1 + rng.Float64()*100), value.NewString(fmt.Sprintf("item-%05d", i)),
+		})
+	}
+	db.Table("ch_item").BulkLoad(nil, rows)
+
+	rows = nil
+	for w := 0; w < cfg.Warehouses; w++ {
+		for i := 0; i < cfg.ItemCount; i++ {
+			rows = append(rows, value.Row{
+				value.NewInt(int64(w)), value.NewInt(int64(i)),
+				value.NewInt(10 + rng.Int63n(91)), value.NewFloat(0), value.NewInt(0),
+			})
+		}
+	}
+	db.Table("stock").BulkLoad(nil, rows)
+
+	var orders, lines, newos []value.Row
+	for w := 0; w < cfg.Warehouses; w++ {
+		for d := 0; d < cfg.DistrictsPerW; d++ {
+			for o := 0; o < cfg.OrdersPerD; o++ {
+				olCnt := 5 + rng.Intn(11)
+				carrier := rng.Int63n(10)
+				entry := chEpoch + rng.Int63n(365)
+				orders = append(orders, value.Row{
+					value.NewInt(int64(w)), value.NewInt(int64(d)), value.NewInt(int64(o)),
+					value.NewInt(rng.Int63n(int64(cfg.CustomersPerD))),
+					value.NewInt(carrier), value.NewInt(int64(olCnt)), value.NewDate(entry),
+				})
+				if o >= cfg.OrdersPerD*7/10 {
+					newos = append(newos, value.Row{
+						value.NewInt(int64(w)), value.NewInt(int64(d)), value.NewInt(int64(o)),
+					})
+				}
+				for l := 0; l < olCnt; l++ {
+					lines = append(lines, value.Row{
+						value.NewInt(int64(w)), value.NewInt(int64(d)), value.NewInt(int64(o)),
+						value.NewInt(int64(l)), value.NewInt(rng.Int63n(int64(cfg.ItemCount))),
+						value.NewInt(int64(w)), value.NewFloat(float64(1 + rng.Intn(10))),
+						value.NewFloat(rng.Float64() * 10000), value.NewDate(entry + rng.Int63n(10)),
+					})
+				}
+			}
+		}
+	}
+	db.Table("oorder").BulkLoad(nil, orders)
+	db.Table("orderline").BulkLoad(nil, lines)
+	db.Table("neworder").BulkLoad(nil, newos)
+
+	rows = nil
+	for i := 0; i < 5; i++ {
+		rows = append(rows, value.Row{value.NewInt(int64(i)), value.NewString(fmt.Sprintf("REGION%d", i))})
+	}
+	db.Table("ch_region").BulkLoad(nil, rows)
+	rows = nil
+	for i := 0; i < 25; i++ {
+		rows = append(rows, value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 5)), value.NewString(fmt.Sprintf("NATION%02d", i))})
+	}
+	db.Table("ch_nation").BulkLoad(nil, rows)
+	rows = nil
+	for i := 0; i < 100; i++ {
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)), value.NewInt(rng.Int63n(25)),
+			value.NewFloat(rng.Float64() * 10000), value.NewString(fmt.Sprintf("SUP%04d", i)),
+		})
+	}
+	db.Table("ch_supplier").BulkLoad(nil, rows)
+	return db
+}
+
+// CHTxn is one TPC-C transaction type expressed as a statement
+// sequence generator.
+type CHTxn struct {
+	Name   string
+	IsRead bool
+	Gen    func(rng *rand.Rand, cfg CHConfig) []string
+}
+
+// CHTransactions returns the five TPC-C transaction types, simplified
+// to the statements our engine executes (each list is the transaction
+// body; the concurrency simulator treats the sum as one job).
+func CHTransactions() []CHTxn {
+	return []CHTxn{
+		{Name: "NewOrder", Gen: func(rng *rand.Rand, cfg CHConfig) []string {
+			w := rng.Intn(cfg.Warehouses)
+			d := rng.Intn(cfg.DistrictsPerW)
+			o := cfg.OrdersPerD + rng.Intn(1000000)
+			c := rng.Intn(cfg.CustomersPerD)
+			stmts := []string{
+				fmt.Sprintf("UPDATE district SET d_next_o_id += 1 WHERE d_w_id = %d AND d_id = %d", w, d),
+				fmt.Sprintf("INSERT INTO oorder VALUES (%d, %d, %d, %d, 0, 5, '2007-06-01')", w, d, o, c),
+				fmt.Sprintf("INSERT INTO neworder VALUES (%d, %d, %d)", w, d, o),
+			}
+			for l := 0; l < 5; l++ {
+				i := rng.Intn(cfg.ItemCount)
+				stmts = append(stmts,
+					fmt.Sprintf("UPDATE stock SET s_quantity += -1, s_order_cnt += 1 WHERE s_w_id = %d AND s_i_id = %d", w, i),
+					fmt.Sprintf("INSERT INTO orderline VALUES (%d, %d, %d, %d, %d, %d, 5, 500.0, '2007-06-02')", w, d, o, l, i, w),
+				)
+			}
+			return stmts
+		}},
+		{Name: "Payment", Gen: func(rng *rand.Rand, cfg CHConfig) []string {
+			w := rng.Intn(cfg.Warehouses)
+			d := rng.Intn(cfg.DistrictsPerW)
+			c := rng.Intn(cfg.CustomersPerD)
+			return []string{
+				fmt.Sprintf("UPDATE warehouse SET w_ytd += 100 WHERE w_id = %d", w),
+				fmt.Sprintf("UPDATE district SET d_ytd += 100 WHERE d_w_id = %d AND d_id = %d", w, d),
+				fmt.Sprintf("UPDATE ch_customer SET c_balance += -100, c_ytd_payment += 100, c_payment_cnt += 1 WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d", w, d, c),
+				fmt.Sprintf("INSERT INTO history VALUES (%d, %d, %d, 100.0, '2007-06-01')", c, d, w),
+			}
+		}},
+		{Name: "OrderStatus", IsRead: true, Gen: func(rng *rand.Rand, cfg CHConfig) []string {
+			w := rng.Intn(cfg.Warehouses)
+			d := rng.Intn(cfg.DistrictsPerW)
+			c := rng.Intn(cfg.CustomersPerD)
+			o := rng.Intn(cfg.OrdersPerD)
+			return []string{
+				fmt.Sprintf("SELECT c_balance, c_last FROM ch_customer WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d", w, d, c),
+				fmt.Sprintf("SELECT sum(ol_amount), count(*) FROM orderline WHERE ol_w_id = %d AND ol_d_id = %d AND ol_o_id = %d", w, d, o),
+			}
+		}},
+		{Name: "Delivery", Gen: func(rng *rand.Rand, cfg CHConfig) []string {
+			w := rng.Intn(cfg.Warehouses)
+			d := rng.Intn(cfg.DistrictsPerW)
+			return []string{
+				fmt.Sprintf("DELETE TOP 1 FROM neworder WHERE no_w_id = %d AND no_d_id = %d", w, d),
+				fmt.Sprintf("UPDATE TOP (1) oorder SET o_carrier_id = 7 WHERE o_w_id = %d AND o_d_id = %d", w, d),
+				fmt.Sprintf("UPDATE TOP (10) orderline SET ol_delivery_d = '2007-06-03' WHERE ol_w_id = %d AND ol_d_id = %d", w, d),
+			}
+		}},
+		{Name: "StockLevel", IsRead: true, Gen: func(rng *rand.Rand, cfg CHConfig) []string {
+			w := rng.Intn(cfg.Warehouses)
+			return []string{
+				fmt.Sprintf("SELECT count(*) FROM stock WHERE s_w_id = %d AND s_quantity < 15", w),
+			}
+		}},
+	}
+}
+
+// CHQueries returns the 22 analytic queries (modelled on the CH
+// benchmark's TPC-H-like query set, adapted to the engine's SQL
+// subset).
+func CHQueries() []string {
+	return []string{
+		// Q1: pricing summary over orderline.
+		`SELECT ol_number, sum(ol_quantity), sum(ol_amount), avg(ol_quantity), count(*) FROM orderline WHERE ol_delivery_d > '2007-01-02' GROUP BY ol_number ORDER BY ol_number`,
+		// Q2-ish: stock by item over suppliers.
+		`SELECT s_i_id, min(s_quantity) FROM stock WHERE s_quantity BETWEEN 10 AND 60 GROUP BY s_i_id`,
+		// Q3: unshipped orders value.
+		`SELECT o_id, sum(ol_amount) FROM oorder JOIN orderline ON ol_o_id = o_id WHERE o_entry_d > '2007-05-01' AND ol_d_id = o_d_id AND ol_w_id = o_w_id GROUP BY o_id`,
+		// Q4: order count by carrier.
+		`SELECT o_carrier_id, count(*) FROM oorder WHERE o_entry_d BETWEEN '2007-01-01' AND '2007-06-30' GROUP BY o_carrier_id`,
+		// Q5: revenue by nation-ish (supplier join).
+		`SELECT su_n_id, sum(su_acctbal) FROM ch_supplier JOIN ch_nation ON su_n_id = n_id GROUP BY su_n_id`,
+		// Q6: big orderline aggregate.
+		`SELECT sum(ol_amount) FROM orderline WHERE ol_quantity BETWEEN 1 AND 8 AND ol_delivery_d > '2007-01-01'`,
+		// Q7-ish: item/stock volume.
+		`SELECT i_im_id, count(*) FROM ch_item JOIN stock ON s_i_id = i_id WHERE i_price < 50 GROUP BY i_im_id`,
+		// Q8: customer credit mix.
+		`SELECT c_credit, count(*), avg(c_balance) FROM ch_customer GROUP BY c_credit`,
+		// Q9: profit-ish per item band.
+		`SELECT i_im_id, sum(ol_amount) FROM orderline JOIN ch_item ON ol_i_id = i_id GROUP BY i_im_id`,
+		// Q10: returned-ish customers.
+		`SELECT c_id, sum(ol_amount) FROM ch_customer JOIN oorder ON o_c_id = c_id JOIN orderline ON ol_o_id = o_id WHERE c_d_id = 3 AND o_d_id = 3 AND ol_d_id = 3 GROUP BY c_id`,
+		// Q11: stock value concentration.
+		`SELECT s_i_id, sum(s_ytd) FROM stock GROUP BY s_i_id`,
+		// Q12: shipping mode proxy: carriers by delay.
+		`SELECT o_ol_cnt, count(*) FROM oorder WHERE o_carrier_id BETWEEN 1 AND 2 GROUP BY o_ol_cnt`,
+		// Q13: orders per customer.
+		`SELECT o_c_id, count(*) FROM oorder WHERE o_carrier_id > 4 GROUP BY o_c_id`,
+		// Q14: promo-ish revenue share.
+		`SELECT sum(ol_amount) FROM orderline JOIN ch_item ON ol_i_id = i_id WHERE i_im_id < 1000`,
+		// Q15: top supplier proxy.
+		`SELECT su_n_id, max(su_acctbal) FROM ch_supplier GROUP BY su_n_id`,
+		// Q16: item/supplier counts.
+		`SELECT i_price, count(*) FROM ch_item WHERE i_im_id BETWEEN 100 AND 5000 GROUP BY i_price`,
+		// Q17: small-quantity revenue.
+		`SELECT sum(ol_amount) FROM orderline JOIN ch_item ON ol_i_id = i_id WHERE i_price < 10 AND ol_quantity < 4`,
+		// Q18: large orders.
+		`SELECT o_c_id, sum(ol_amount) FROM oorder JOIN orderline ON ol_o_id = o_id WHERE ol_w_id = o_w_id AND ol_d_id = o_d_id GROUP BY o_c_id`,
+		// Q19: discount-ish revenue window.
+		`SELECT sum(ol_amount) FROM orderline WHERE ol_quantity BETWEEN 1 AND 5 AND ol_amount BETWEEN 100 AND 2000`,
+		// Q20: stock reorder candidates.
+		`SELECT count(*) FROM stock JOIN ch_item ON s_i_id = i_id WHERE s_quantity > 50 AND i_im_id < 3000`,
+		// Q21: suppliers behind (delivery dates).
+		`SELECT ol_supply_w_id, count(*) FROM orderline WHERE ol_delivery_d > '2007-06-01' GROUP BY ol_supply_w_id`,
+		// Q22: customer balance by district.
+		`SELECT c_d_id, count(*), sum(c_balance) FROM ch_customer WHERE c_balance > 100 GROUP BY c_d_id`,
+	}
+}

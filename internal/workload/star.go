@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"hybriddb/internal/engine"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// DimSpec describes one dimension table: a surrogate key plus
+// attribute columns of the given cardinalities (0 cardinality means a
+// unique int column; negative means a string column with |card|
+// distinct values).
+type DimSpec struct {
+	Name  string
+	Rows  int
+	Cards []int
+}
+
+// FactSpec describes one fact table: a foreign key per referenced
+// dimension plus measure columns.
+type FactSpec struct {
+	Name     string
+	Rows     int
+	Dims     []string
+	Measures int
+}
+
+// StarConfig describes a star schema.
+type StarConfig struct {
+	Dims         []DimSpec
+	Facts        []FactSpec
+	Seed         int64
+	RowGroupSize int
+}
+
+// BuildStar generates the schema and data. Every table gets a
+// clustered B+ tree on its key (dims: surrogate key; facts: first FK),
+// the typical as-shipped OLTP-ish design the advisor then improves.
+// Column names are globally unique (prefixed with the table name) so
+// the SQL layer needs no aliases.
+func BuildStar(model *vclock.Model, cfg StarConfig) *engine.Database {
+	db := engine.New(model, 0)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for _, d := range cfg.Dims {
+		cols := []value.Column{{Name: d.Name + "_sk", Kind: value.KindInt}}
+		for i, card := range d.Cards {
+			kind := value.KindInt
+			if card < 0 {
+				kind = value.KindString
+			}
+			cols = append(cols, value.Column{Name: fmt.Sprintf("%s_a%d", d.Name, i), Kind: kind})
+		}
+		schema := value.NewSchema(cols...)
+		t, err := db.CreateTable(d.Name, schema, []int{0})
+		if err != nil {
+			panic(err)
+		}
+		t.SetRowGroupSize(cfg.RowGroupSize)
+		rows := make([]value.Row, d.Rows)
+		for r := range rows {
+			row := make(value.Row, len(cols))
+			row[0] = value.NewInt(int64(r))
+			for i, card := range d.Cards {
+				switch {
+				case card < 0:
+					row[i+1] = value.NewString(fmt.Sprintf("%s_v%d", d.Name, rng.Intn(-card)))
+				case card == 0:
+					row[i+1] = value.NewInt(int64(r))
+				default:
+					row[i+1] = value.NewInt(rng.Int63n(int64(card)))
+				}
+			}
+			rows[r] = row
+		}
+		t.BulkLoad(nil, rows)
+	}
+
+	for _, f := range cfg.Facts {
+		var cols []value.Column
+		for _, d := range f.Dims {
+			cols = append(cols, value.Column{Name: fmt.Sprintf("%s_%s_sk", f.Name, d), Kind: value.KindInt})
+		}
+		for i := 0; i < f.Measures; i++ {
+			cols = append(cols, value.Column{Name: fmt.Sprintf("%s_m%d", f.Name, i), Kind: value.KindFloat})
+		}
+		schema := value.NewSchema(cols...)
+		t, err := db.CreateTable(f.Name, schema, []int{0})
+		if err != nil {
+			panic(err)
+		}
+		t.SetRowGroupSize(cfg.RowGroupSize)
+		dimRows := make([]int, len(f.Dims))
+		for i, d := range f.Dims {
+			dimRows[i] = dimSpec(cfg, d).Rows
+		}
+		rows := make([]value.Row, f.Rows)
+		for r := range rows {
+			row := make(value.Row, len(cols))
+			for i := range f.Dims {
+				row[i] = value.NewInt(rng.Int63n(int64(dimRows[i])))
+			}
+			for i := 0; i < f.Measures; i++ {
+				row[len(f.Dims)+i] = value.NewFloat(rng.Float64() * 1000)
+			}
+			rows[r] = row
+		}
+		t.BulkLoad(nil, rows)
+	}
+	return db
+}
+
+func dimSpec(cfg StarConfig, name string) DimSpec {
+	for _, d := range cfg.Dims {
+		if d.Name == name {
+			return d
+		}
+	}
+	panic("workload: unknown dimension " + name)
+}
+
+// QueryProfile shapes a generated analytic workload.
+type QueryProfile struct {
+	// MinDims and MaxDims bound the dimensions joined per query.
+	MinDims, MaxDims int
+	// SelectivityLow/High bound the per-dimension predicate
+	// selectivity, drawn log-uniformly. Low selectivity favours B+ tree
+	// seeks; high favours columnstore scans.
+	SelectivityLow, SelectivityHigh float64
+	// GroupByFraction of queries aggregate with GROUP BY on a dim
+	// attribute (the rest compute scalar aggregates).
+	GroupByFraction float64
+	// FactPredicateFraction of queries also carry a range predicate on
+	// the fact's first measure.
+	FactPredicateFraction float64
+}
+
+// GenStarQueries generates n star-join aggregate queries over the
+// schema, deterministic in seed, within the engine's SQL subset.
+func GenStarQueries(cfg StarConfig, n int, seed int64, p QueryProfile) []string {
+	rng := rand.New(rand.NewSource(seed))
+	if p.MinDims < 1 {
+		p.MinDims = 1
+	}
+	if p.MaxDims < p.MinDims {
+		p.MaxDims = p.MinDims
+	}
+	out := make([]string, 0, n)
+	for qi := 0; qi < n; qi++ {
+		f := cfg.Facts[rng.Intn(len(cfg.Facts))]
+		ndims := p.MinDims + rng.Intn(p.MaxDims-p.MinDims+1)
+		if ndims > len(f.Dims) {
+			ndims = len(f.Dims)
+		}
+		dimIdx := rng.Perm(len(f.Dims))[:ndims]
+
+		var joins, preds []string
+		var groupCol string
+		for _, di := range dimIdx {
+			dname := f.Dims[di]
+			d := dimSpec(cfg, dname)
+			joins = append(joins, fmt.Sprintf("JOIN %s ON %s_%s_sk = %s_sk", dname, f.Name, dname, dname))
+			// Predicate on a random int attribute.
+			attr, card := pickIntAttr(d, rng)
+			if attr == "" {
+				continue
+			}
+			sel := logUniform(rng, p.SelectivityLow, p.SelectivityHigh)
+			cut := int64(sel * float64(card))
+			if cut < 1 {
+				preds = append(preds, fmt.Sprintf("%s = %d", attr, rng.Int63n(int64(card))))
+			} else {
+				preds = append(preds, fmt.Sprintf("%s < %d", attr, cut))
+			}
+			if groupCol == "" && rng.Float64() < 0.6 {
+				groupCol = attr
+			}
+		}
+		if p.FactPredicateFraction > 0 && rng.Float64() < p.FactPredicateFraction {
+			preds = append(preds, fmt.Sprintf("%s_m0 < %d", f.Name, 100+rng.Intn(800)))
+		}
+		measure := fmt.Sprintf("%s_m%d", f.Name, rng.Intn(f.Measures))
+		var sb strings.Builder
+		grouped := groupCol != "" && rng.Float64() < p.GroupByFraction
+		if grouped {
+			fmt.Fprintf(&sb, "SELECT %s, sum(%s), count(*) FROM %s %s",
+				groupCol, measure, f.Name, strings.Join(joins, " "))
+		} else {
+			fmt.Fprintf(&sb, "SELECT sum(%s), count(*) FROM %s %s",
+				measure, f.Name, strings.Join(joins, " "))
+		}
+		if len(preds) > 0 {
+			fmt.Fprintf(&sb, " WHERE %s", strings.Join(preds, " AND "))
+		}
+		if grouped {
+			fmt.Fprintf(&sb, " GROUP BY %s", groupCol)
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+func pickIntAttr(d DimSpec, rng *rand.Rand) (name string, card int) {
+	var ints []int
+	for i, c := range d.Cards {
+		if c > 1 {
+			ints = append(ints, i)
+		}
+	}
+	if len(ints) == 0 {
+		return "", 0
+	}
+	i := ints[rng.Intn(len(ints))]
+	return fmt.Sprintf("%s_a%d", d.Name, i), d.Cards[i]
+}
+
+// logUniform draws log-uniformly from [lo, hi].
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo <= 0 {
+		lo = 1e-5
+	}
+	if hi <= lo {
+		return lo
+	}
+	return lo * math.Pow(hi/lo, rng.Float64())
+}

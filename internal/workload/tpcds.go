@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"hybriddb/internal/engine"
+	"hybriddb/internal/vclock"
+)
+
+// TPCDSScale sizes the TPC-DS-style workload; 1.0 gives ~120k fact
+// rows, standing in for the paper's 87.7 GB database (Table 2: 24
+// tables, 97 queries, avg 7.9 joins).
+type TPCDSScale float64
+
+// TPCDSConfig returns the star-schema configuration: three sales fact
+// tables and twenty-one dimensions (24 tables, matching Table 2).
+func TPCDSConfig(scale TPCDSScale, seed int64) StarConfig {
+	s := float64(scale)
+	if s <= 0 {
+		s = 1
+	}
+	n := func(base int) int {
+		v := int(float64(base) * s)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	dims := []DimSpec{
+		{Name: "date_dim", Rows: n(2500), Cards: []int{2500, 12, 7, 4, 53}},
+		{Name: "item", Rows: n(4000), Cards: []int{100, 20, 1000, -50, -12}},
+		{Name: "customer", Rows: n(20000), Cards: []int{5000, 100, 2500, -30}},
+		{Name: "customer_address", Rows: n(10000), Cards: []int{50, 1000, -40, 5}},
+		{Name: "customer_demographics", Rows: n(4000), Cards: []int{7, 5, 20, 10}},
+		{Name: "household_demographics", Rows: n(1440), Cards: []int{6, 10, 24}},
+		{Name: "store", Rows: n(60), Cards: []int{10, 5, -8}},
+		{Name: "promotion", Rows: n(80), Cards: []int{4, 10, -6}},
+		{Name: "time_dim", Rows: n(1728), Cards: []int{24, 60, 2}},
+		{Name: "warehouse", Rows: n(10), Cards: []int{5, -4}},
+		{Name: "ship_mode", Rows: n(20), Cards: []int{5, -5}},
+		{Name: "reason", Rows: n(35), Cards: []int{-35}},
+		{Name: "income_band", Rows: n(20), Cards: []int{20, 20}},
+		{Name: "web_site", Rows: n(12), Cards: []int{4, -6}},
+		{Name: "web_page", Rows: n(60), Cards: []int{10, 3}},
+		{Name: "call_center", Rows: n(8), Cards: []int{4, -4}},
+		{Name: "catalog_page", Rows: n(500), Cards: []int{25, 10}},
+		{Name: "store_dim2", Rows: n(60), Cards: []int{12, 6}},
+		{Name: "inventory_dim", Rows: n(100), Cards: []int{8, 12}},
+		{Name: "returns_reason", Rows: n(35), Cards: []int{-35, 5}},
+		{Name: "band_dim", Rows: n(20), Cards: []int{10}},
+	}
+	facts := []FactSpec{
+		{Name: "store_sales", Rows: n(60000), Measures: 5,
+			Dims: []string{"date_dim", "item", "customer", "customer_address", "household_demographics", "store", "promotion"}},
+		{Name: "web_sales", Rows: n(30000), Measures: 5,
+			Dims: []string{"date_dim", "item", "customer", "web_site", "web_page", "ship_mode", "warehouse"}},
+		{Name: "catalog_sales", Rows: n(30000), Measures: 4,
+			Dims: []string{"date_dim", "item", "customer", "catalog_page", "call_center", "ship_mode"}},
+	}
+	return StarConfig{Dims: dims, Facts: facts, Seed: seed, RowGroupSize: 1 << 13}
+}
+
+// BuildTPCDS builds the database and its 97-query analytic workload.
+func BuildTPCDS(model *vclock.Model, scale TPCDSScale) (*engine.Database, []string) {
+	cfg := TPCDSConfig(scale, 11)
+	db := BuildStar(model, cfg)
+	queries := GenStarQueries(cfg, 97, 13, QueryProfile{
+		MinDims: 2, MaxDims: 5,
+		SelectivityLow: 0.0005, SelectivityHigh: 0.9,
+		GroupByFraction:       0.7,
+		FactPredicateFraction: 0.3,
+	})
+	return db, queries
+}

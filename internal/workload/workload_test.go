@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/vclock"
+)
+
+func model() *vclock.Model { return vclock.DefaultModel(vclock.DRAM) }
+
+func TestBuildMicro(t *testing.T) {
+	cfg := DefaultMicro()
+	cfg.Rows = 20000
+	db := BuildMicro(model(), cfg)
+	if got := db.Table("t").RowCount(); got != 20000 {
+		t.Fatalf("rows = %d", got)
+	}
+	res, err := db.Exec(Q1(0.01, cfg.MaxValue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Q1 rows: %v", res.Rows)
+	}
+	if _, err := db.Exec(Q2(0.001, cfg.MaxValue)); err == nil {
+		t.Fatal("Q2 on single-column table should fail")
+	}
+	cfg.Cols = 2
+	db2 := BuildMicro(model(), cfg)
+	if _, err := db2.Exec(Q2(0.001, cfg.MaxValue)); err != nil {
+		t.Fatalf("Q2: %v", err)
+	}
+}
+
+func TestBuildMicroSorted(t *testing.T) {
+	cfg := DefaultMicro()
+	cfg.Rows = 10000
+	cfg.Sorted = true
+	db := BuildMicro(model(), cfg)
+	rows, _ := db.Table("t").AllRows(nil)
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].Int() < rows[i-1][0].Int() {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestBuildMicroGroups(t *testing.T) {
+	db := BuildMicroGroups(model(), 10000, 100, 4096, 1)
+	res, err := db.Exec(Q3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 100 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestBuildTPCH(t *testing.T) {
+	cfg := TPCHConfig{LineitemRows: 20000, RowGroupSize: 4096, Seed: 7}
+	db := BuildTPCH(model(), cfg)
+	if got := db.Table("lineitem").RowCount(); got != 20000 {
+		t.Fatalf("lineitem rows = %d", got)
+	}
+	if got := db.Table("nation").RowCount(); got != 25 {
+		t.Fatalf("nation rows = %d", got)
+	}
+	// Q4 and Q5 run.
+	date := ShipDate(100)
+	r, err := db.Exec(Q4(5, date))
+	if err != nil {
+		t.Fatalf("Q4: %v", err)
+	}
+	if r.RowsAffected > 5 {
+		t.Fatalf("Q4 affected %d", r.RowsAffected)
+	}
+	if _, err := db.Exec(Q5(date)); err != nil {
+		t.Fatalf("Q5: %v", err)
+	}
+	if _, err := db.Exec(Q4Range(ShipDate(0), ShipDate(50))); err != nil {
+		t.Fatalf("Q4Range: %v", err)
+	}
+	// Join query across the schema.
+	if _, err := db.Exec(`SELECT o_orderpriority, count(*) FROM orders
+		JOIN lineitem ON l_orderkey = o_orderkey WHERE l_discount < 0.02 GROUP BY o_orderpriority`); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+}
+
+func TestBuildTPCDSAllQueriesExecute(t *testing.T) {
+	db, queries := BuildTPCDS(model(), 0.08)
+	if len(queries) != 97 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	if len(db.Tables()) != 24 {
+		t.Fatalf("tables = %d", len(db.Tables()))
+	}
+	for i, q := range queries {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+	}
+}
+
+func TestBuildCHEverythingExecutes(t *testing.T) {
+	cfg := DefaultCH()
+	cfg.Warehouses = 2
+	cfg.CustomersPerD = 50
+	cfg.OrdersPerD = 60
+	cfg.ItemCount = 300
+	db := BuildCH(model(), cfg)
+	if len(db.Tables()) != 12 {
+		t.Fatalf("tables = %d", len(db.Tables()))
+	}
+	for i, q := range CHQueries() {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("CH query %d (%s): %v", i+1, q, err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, txn := range CHTransactions() {
+		for trial := 0; trial < 3; trial++ {
+			for _, stmt := range txn.Gen(rng, cfg) {
+				if _, err := db.Exec(stmt); err != nil {
+					t.Fatalf("%s: %q: %v", txn.Name, stmt, err)
+				}
+			}
+		}
+	}
+}
+
+func TestCustomerWorkloads(t *testing.T) {
+	for _, p := range Customers() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			p.Scale = 0.15 // shrink for test speed
+			db, queries := BuildCustomer(model(), p)
+			if len(queries) != p.Queries {
+				t.Fatalf("queries = %d, want %d", len(queries), p.Queries)
+			}
+			for i, q := range queries {
+				if _, err := db.Exec(q); err != nil {
+					t.Fatalf("query %d (%s): %v", i, q, err)
+				}
+			}
+		})
+	}
+}
+
+func TestGenStarQueriesDeterministic(t *testing.T) {
+	cfg := TPCDSConfig(0.05, 11)
+	a := GenStarQueries(cfg, 10, 5, QueryProfile{MinDims: 1, MaxDims: 3, SelectivityLow: 0.01, SelectivityHigh: 0.5})
+	b := GenStarQueries(cfg, 10, 5, QueryProfile{MinDims: 1, MaxDims: 3, SelectivityLow: 0.01, SelectivityHigh: 0.5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic query generation")
+		}
+	}
+	if strings.Contains(a[0], "  JOIN") {
+		t.Error("malformed SQL")
+	}
+}
+
+func TestShipDate(t *testing.T) {
+	if ShipDate(0) != "1992-01-01" {
+		t.Errorf("ShipDate(0) = %s", ShipDate(0))
+	}
+	if ShipDate(ShipDateDays) != ShipDate(0) {
+		t.Error("ShipDate wraparound broken")
+	}
+}

@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with concurrent surfaces
+# (metrics registry, engine statement locking, lock manager, simulator).
+race:
+	$(GO) test -race ./internal/...
+
+# ci is the tier-1 gate referenced from ROADMAP.md.
+ci: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -1,15 +1,24 @@
 // Command hshell is a small interactive SQL shell over a hybriddb
-// instance. Statements end with ';'. Meta-commands:
+// instance. Statements end with ';'. EXPLAIN ANALYZE <select> prints a
+// per-operator execution trace. Meta-commands:
 //
 //	\q            quit
 //	\cool         evict the buffer pool (cold runs)
 //	\warm         make everything resident
 //	\explain SQL  show the optimizer's plan
 //	\tables       list tables and row counts
+//	\metrics      dump the process metrics (Prometheus text format)
+//
+// Flags:
+//
+//	-metrics addr   serve /metrics and /debug/vars on addr (e.g. :8080)
+//	-slowlog path   append slow statements to path as JSON lines
+//	-slowms n       slow-query threshold in virtual milliseconds
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -20,7 +29,28 @@ import (
 )
 
 func main() {
+	metricsAddr := flag.String("metrics", "", "serve /metrics on this address (empty = off)")
+	slowLog := flag.String("slowlog", "", "slow-query log file (JSON lines, empty = off)")
+	slowMS := flag.Int("slowms", 100, "slow-query threshold in virtual milliseconds")
+	flag.Parse()
+
 	db := hybriddb.Open()
+	if *metricsAddr != "" {
+		if _, err := hybriddb.ServeMetrics(*metricsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
+	}
+	if *slowLog != "" {
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slow-query log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		db.SetSlowQueryLog(f, time.Duration(*slowMS)*time.Millisecond)
+	}
 	fmt.Println("hybriddb shell — end statements with ';', \\q to quit")
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -76,6 +106,8 @@ func meta(db *hybriddb.DB, cmd string) bool {
 		for _, n := range names {
 			fmt.Printf("  %-24s %d rows\n", n, db.TableRows(n))
 		}
+	case cmd == "\\metrics":
+		fmt.Print(hybriddb.MetricsText())
 	case strings.HasPrefix(cmd, "\\explain "):
 		plan, err := db.Explain(strings.TrimPrefix(cmd, "\\explain "))
 		if err != nil {

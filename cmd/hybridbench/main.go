@@ -6,6 +6,7 @@
 //	hybridbench -experiment fig1    # run one experiment
 //	hybridbench -quick              # reduced scale (fast smoke run)
 //	hybridbench -list               # list experiment IDs
+//	hybridbench -metrics :8080      # also serve /metrics while running
 package main
 
 import (
@@ -14,14 +15,16 @@ import (
 	"os"
 	"time"
 
+	"hybriddb"
 	"hybriddb/internal/experiments"
 )
 
 func main() {
 	var (
-		expID = flag.String("experiment", "", "experiment ID to run (default: all)")
-		quick = flag.Bool("quick", false, "reduced data scale for fast runs")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		expID       = flag.String("experiment", "", "experiment ID to run (default: all)")
+		quick       = flag.Bool("quick", false, "reduced data scale for fast runs")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		metricsAddr = flag.String("metrics", "", "serve /metrics on this address while running (empty = off)")
 	)
 	flag.Parse()
 
@@ -30,6 +33,13 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+	if *metricsAddr != "" {
+		if _, err := hybriddb.ServeMetrics(*metricsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
 	}
 
 	run := func(e experiments.Experiment) {
@@ -47,9 +57,32 @@ func main() {
 			os.Exit(1)
 		}
 		run(e)
-		return
+	} else {
+		for _, e := range experiments.Registry() {
+			run(e)
+		}
 	}
-	for _, e := range experiments.Registry() {
-		run(e)
+	printCounters()
+}
+
+// printCounters summarizes the engine's cumulative observability
+// counters for the whole bench run.
+func printCounters() {
+	snap := hybriddb.MetricsSnapshot()
+	hits, misses := snap["hybriddb_pool_hits_total"], snap["hybriddb_pool_misses_total"]
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = hits / (hits + misses)
 	}
+	fmt.Println("cumulative engine counters:")
+	fmt.Printf("  statements executed     %.0f\n", snap["hybriddb_statements_total"])
+	fmt.Printf("  data read               %.1f MB\n", snap["hybriddb_data_read_bytes_total"]/1e6)
+	fmt.Printf("  data written            %.1f MB\n", snap["hybriddb_data_written_bytes_total"]/1e6)
+	fmt.Printf("  buffer pool hit ratio   %.1f%% (%.0f hits / %.0f misses)\n", 100*ratio, hits, misses)
+	fmt.Printf("  rowgroups scanned       %.0f\n", snap["hybriddb_rowgroups_scanned_total"])
+	fmt.Printf("  rowgroups pruned        %.0f\n", snap["hybriddb_rowgroups_pruned_total"])
+	fmt.Printf("  B+ tree page splits     %.0f\n", snap["hybriddb_btree_splits_total"])
+	fmt.Printf("  tuple-mover compactions %.0f\n", snap["hybriddb_tuplemover_compactions_total"])
+	fmt.Printf("  optimizer plans costed  %.0f\n", snap["hybriddb_optimizer_plans_total"])
+	fmt.Printf("  advisor what-if calls   %.0f\n", snap["hybriddb_advisor_whatif_calls_total"])
 }

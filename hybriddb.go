@@ -27,10 +27,14 @@
 package hybriddb
 
 import (
+	"io"
+	"net/http"
+	"strings"
 	"time"
 
 	"hybriddb/internal/advisor"
 	"hybriddb/internal/engine"
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
@@ -152,6 +156,31 @@ func (db *DB) TuneAndApply(w Workload, opts TuneOptions) (*Recommendation, error
 	}
 	return rec, nil
 }
+
+// SetSlowQueryLog enables the engine's slow-query log: statements
+// whose virtual execution time meets or exceeds threshold are appended
+// to w as JSON lines. A nil writer or non-positive threshold disables
+// it.
+func (db *DB) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	db.inner.SetSlowQueryLog(w, threshold)
+}
+
+// ServeMetrics starts an HTTP server on addr exposing the process-wide
+// metrics registry at /metrics (Prometheus text format) and /debug/vars
+// (expvar). Returns the server for shutdown.
+func ServeMetrics(addr string) (*http.Server, error) { return metrics.Serve(addr) }
+
+// MetricsText renders the process-wide metrics registry in Prometheus
+// text exposition format.
+func MetricsText() string {
+	var b strings.Builder
+	metrics.Default().WritePrometheus(&b)
+	return b.String()
+}
+
+// MetricsSnapshot returns a flat name→value snapshot of the process-wide
+// metrics registry (histograms appear as _count and _sum entries).
+func MetricsSnapshot() map[string]float64 { return metrics.Default().Snapshot() }
 
 // CoolCache evicts every page from the buffer pool (cold run).
 func (db *DB) CoolCache() { db.inner.Store().Cool() }

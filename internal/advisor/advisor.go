@@ -7,10 +7,17 @@ import (
 	"time"
 
 	"hybriddb/internal/engine"
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/optimizer"
 	"hybriddb/internal/sql"
 	"hybriddb/internal/table"
 	"hybriddb/internal/vclock"
+)
+
+// Process-wide advisor counters.
+var (
+	mWhatIf     = metrics.NewCounter("hybriddb_advisor_whatif_calls_total", "what-if workload cost evaluations")
+	mCandidates = metrics.NewCounter("hybriddb_advisor_candidates_total", "index candidates enumerated (post-merge)")
 )
 
 // Statement is one workload entry with a weight (frequency).
@@ -200,6 +207,7 @@ func Tune(db *engine.Database, w Workload, opts Options) (*Recommendation, error
 
 	// --- Index merging (never merges a columnstore) ---
 	cands := mergeCandidates(pool, opts)
+	mCandidates.Add(int64(len(cands)))
 
 	// Size estimation.
 	for _, c := range cands {
@@ -321,6 +329,7 @@ func uninstall(cs []*candidate) {
 // including index maintenance for DML (Section 4.3: "the
 // workload-level search considers this maintenance cost").
 func workloadCost(db *engine.Database, stmts []*boundStmt, chosen []*candidate, model *vclock.Model, opts Options) time.Duration {
+	mWhatIf.Inc()
 	oopts := optimizer.Options{Model: model, NoColumnstore: opts.NoColumnstore}
 	var total float64
 	for _, bs := range stmts {

@@ -14,10 +14,16 @@ import (
 	"bytes"
 	"sort"
 
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/storage"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
 )
+
+// mSplits counts page splits (leaf, internal, and root) across every
+// tree in the process — the write-amplification signal behind the
+// paper's B+ tree update costs.
+var mSplits = metrics.NewCounter("hybriddb_btree_splits_total", "B+ tree page splits")
 
 const (
 	entryOverhead = 16  // per-entry header bytes for size accounting
@@ -155,6 +161,7 @@ func (t *Tree) Insert(tr *vclock.Tracker, key value.Row, payload value.Row) {
 
 // splitLeaf splits an oversized leaf and propagates separators upward.
 func (t *Tree) splitLeaf(leaf *node, leafID storage.PageID, path []storage.PageID) {
+	mSplits.Inc()
 	mid := len(leaf.entries) / 2
 	right := &node{leaf: true, next: leaf.next}
 	right.entries = append(right.entries, leaf.entries[mid:]...)
@@ -201,6 +208,7 @@ func (t *Tree) insertSeparator(path []storage.PageID, leftID storage.PageID, sep
 			return
 		}
 		// Split internal node.
+		mSplits.Inc()
 		mid := len(parent.keys) / 2
 		upKey := parent.keys[mid]
 		right := &node{

@@ -5,9 +5,20 @@ import (
 	"sort"
 
 	"hybriddb/internal/btree"
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/storage"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
+)
+
+// Process-wide columnstore counters. Gauges track the live totals
+// across every index in the process; counters are cumulative.
+var (
+	mDeltaRows       = metrics.NewGauge("hybriddb_deltastore_rows", "rows currently in delta stores")
+	mDeleteBitmap    = metrics.NewGauge("hybriddb_deletebitmap_rows", "rows currently marked in delete bitmaps")
+	mBufferedDeletes = metrics.NewGauge("hybriddb_deletebuffer_rows", "logical deletes buffered in secondary columnstores")
+	mCompactions     = metrics.NewCounter("hybriddb_tuplemover_compactions_total", "tuple-mover runs that compacted work")
+	mGroupsBuilt     = metrics.NewCounter("hybriddb_rowgroups_compressed_total", "rowgroups compressed (builds, bulk loads, tuple moves)")
 )
 
 // DefaultRowGroupSize is the maximum rows per compressed rowgroup
@@ -78,6 +89,7 @@ func (g *rowGroup) markDeleted(i int) bool {
 	}
 	g.deleted[i/64] |= 1 << (uint(i) % 64)
 	g.ndel++
+	mDeleteBitmap.Inc()
 	return true
 }
 
@@ -197,6 +209,7 @@ func (x *Index) compressGroup(chunk []value.Row, tr *vclock.Tracker) {
 	x.groups = append(x.groups, g)
 	x.nTotal += int64(len(chunk))
 	x.nLive += int64(len(chunk))
+	mGroupsBuilt.Inc()
 	if tr != nil {
 		// Compression cost: a sort plus encoding passes per column.
 		n := int64(len(chunk))
@@ -247,6 +260,7 @@ func (x *Index) Insert(tr *vclock.Tracker, row value.Row) Locator {
 	x.seq++
 	x.delta.Insert(tr, value.Row{value.NewInt(x.seq)}, row)
 	x.nLive++
+	mDeltaRows.Inc()
 	loc := Locator{Delta: true, Seq: x.seq}
 	if x.delta.Count() >= int64(x.cfg.RowGroupSize) {
 		x.TupleMove(nil)
@@ -273,6 +287,7 @@ func (x *Index) DeleteAt(tr *vclock.Tracker, loc Locator) bool {
 	if loc.Delta {
 		if x.delta.Delete(tr, value.Row{value.NewInt(loc.Seq)}, nil) {
 			x.nLive--
+			mDeltaRows.Dec()
 			return true
 		}
 		return false
@@ -302,6 +317,7 @@ func (x *Index) BufferDelete(tr *vclock.Tracker, key value.Row) {
 	x.delBuf.Insert(tr, key, nil)
 	x.nBuf++
 	x.nLive--
+	mBufferedDeletes.Inc()
 }
 
 // Seq returns the current delta sequence (diagnostics).
@@ -312,6 +328,9 @@ func (x *Index) Seq() int64 { return x.seq }
 // buffer into delete bitmaps. It is charged to tr (nil = free,
 // modelling background work outside the measured query).
 func (x *Index) TupleMove(tr *vclock.Tracker) {
+	if x.delta.Count() > 0 || x.nBuf > 0 {
+		mCompactions.Inc()
+	}
 	// Compress delta store.
 	if x.delta.Count() > 0 {
 		rows := make([]value.Row, 0, x.delta.Count())
@@ -321,6 +340,7 @@ func (x *Index) TupleMove(tr *vclock.Tracker) {
 		x.nLive -= int64(len(rows)) // appendGroups re-adds
 		x.appendGroups(rows, tr)
 		x.delta = btree.New(x.store)
+		mDeltaRows.Add(-int64(len(rows)))
 	}
 	// Compact delete buffer into bitmaps.
 	if x.nBuf > 0 {
@@ -359,6 +379,7 @@ func (x *Index) TupleMove(tr *vclock.Tracker) {
 		// Live count is unchanged: BufferDelete already subtracted the
 		// logically deleted rows; the bitmap now carries them instead.
 		x.delBuf = btree.New(x.store)
+		mBufferedDeletes.Add(-int64(x.nBuf))
 		x.nBuf = 0
 	}
 }

@@ -1,9 +1,16 @@
 package colstore
 
 import (
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
 	"hybriddb/internal/vec"
+)
+
+// Process-wide segment-elimination counters (data skipping).
+var (
+	mGroupsScanned = metrics.NewCounter("hybriddb_rowgroups_scanned_total", "rowgroups decoded by scans")
+	mGroupsPruned  = metrics.NewCounter("hybriddb_rowgroups_pruned_total", "rowgroups skipped via min/max segment elimination")
 )
 
 // ScanSpec configures a columnstore scan.
@@ -49,6 +56,7 @@ type Scanner struct {
 	// Stats
 	GroupsScanned    int
 	GroupsEliminated int
+	DeltaRowsScanned int
 }
 
 type deltaCursor struct {
@@ -173,9 +181,11 @@ func (s *Scanner) nextCompressed() bool {
 		s.gi++
 		if s.eliminated(g) {
 			s.GroupsEliminated++
+			mGroupsPruned.Inc()
 			continue
 		}
 		s.GroupsScanned++
+		mGroupsScanned.Inc()
 		// Fetch the needed segments: sequential multi-megabyte reads.
 		s.segs = make([]*segment, len(s.cols))
 		for i, c := range s.cols {
@@ -312,6 +322,7 @@ func (s *Scanner) nextDelta() bool {
 		n++
 	}
 	s.batch.SetLen(n)
+	s.DeltaRowsScanned += n
 	if s.tr != nil {
 		// Row-mode cost for delta rows.
 		s.tr.ChargeParallelCPU(vclock.CPU(int64(n), s.tr.Model.RowCPU), 1.0)

@@ -6,9 +6,15 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
 
 	"hybriddb/internal/exec"
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/optimizer"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/sql"
@@ -16,6 +22,17 @@ import (
 	"hybriddb/internal/table"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
+)
+
+// Engine-level observability counters, shared by every Database in the
+// process (see OBSERVABILITY.md for the full catalog).
+var (
+	mStatements  = metrics.NewCounter("hybriddb_statements_total", "SQL statements executed")
+	mStmtErrors  = metrics.NewCounter("hybriddb_statement_errors_total", "SQL statements that returned an error")
+	mDataRead    = metrics.NewCounter("hybriddb_data_read_bytes_total", "virtual bytes read by statements")
+	mDataWritten = metrics.NewCounter("hybriddb_data_written_bytes_total", "virtual bytes written by statements")
+	mExecSeconds = metrics.NewHistogram("hybriddb_query_exec_seconds", "virtual statement execution time")
+	mSlowQueries = metrics.NewCounter("hybriddb_slow_queries_total", "statements over the slow-query threshold")
 )
 
 // Database is one database instance.
@@ -26,6 +43,16 @@ type Database struct {
 	// DefaultRowGroupSize applies to columnstores created via SQL DDL
 	// (0 = colstore default).
 	DefaultRowGroupSize int
+
+	// mu serializes catalog/data mutation against reads: SELECT and
+	// EXPLAIN take the shared side, everything else the exclusive side.
+	// Catalog accessors (Table, TableSchema, ResolveTable) stay
+	// lock-free — they are only called under a statement's lock.
+	mu sync.RWMutex
+
+	slowMu        sync.Mutex
+	slowW         io.Writer
+	slowThreshold time.Duration
 }
 
 // New creates a database with the given cost model and buffer pool
@@ -53,9 +80,25 @@ func (db *Database) Table(name string) *table.Table { return db.tables[name] }
 // Tables lists every table.
 func (db *Database) Tables() map[string]*table.Table { return db.tables }
 
+// SetSlowQueryLog enables the slow-query log: statements whose virtual
+// execution time meets or exceeds threshold are appended to w as JSON
+// lines. A nil writer or non-positive threshold disables it.
+func (db *Database) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	db.slowW = w
+	db.slowThreshold = threshold
+}
+
 // CreateTable registers a new table. clusterKeys non-nil builds a
 // clustered B+ tree primary on those ordinals; nil leaves a heap.
 func (db *Database) CreateTable(name string, schema *value.Schema, clusterKeys []int) (*table.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createTable(name, schema, clusterKeys)
+}
+
+func (db *Database) createTable(name string, schema *value.Schema, clusterKeys []int) (*table.Table, error) {
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
@@ -101,6 +144,9 @@ type Result struct {
 	Metrics      vclock.Metrics
 	Plan         *plan.Root
 	Locks        []LockDemand
+	// Trace is the per-operator execution trace (EXPLAIN ANALYZE only):
+	// a synthetic root whose children are the plan's operators.
+	Trace *metrics.TraceNode
 }
 
 // ExecOptions tune one statement execution.
@@ -135,14 +181,50 @@ func (db *Database) Exec(query string, opts ...ExecOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(st, o)
+	return db.run(st, o, query)
 }
 
 // ExecStmt executes a parsed statement.
 func (db *Database) ExecStmt(st sql.Statement, o ExecOptions) (*Result, error) {
+	return db.run(st, o, "")
+}
+
+// readOnly reports whether a statement only reads: such statements run
+// under the shared lock and may execute concurrently with each other.
+func readOnly(st sql.Statement) bool {
+	switch st.(type) {
+	case *sql.SelectStmt, *sql.ExplainStmt:
+		return true
+	}
+	return false
+}
+
+// run executes a dispatched statement under the engine lock and feeds
+// the engine-level metrics and slow-query log.
+func (db *Database) run(st sql.Statement, o ExecOptions, text string) (*Result, error) {
+	if readOnly(st) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	} else {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
+	mStatements.Inc()
+	res, err := db.dispatch(st, o)
+	if err != nil {
+		mStmtErrors.Inc()
+		return nil, err
+	}
+	db.observe(st, res, text)
+	return res, nil
+}
+
+func (db *Database) dispatch(st sql.Statement, o ExecOptions) (*Result, error) {
 	switch s := st.(type) {
 	case *sql.SelectStmt:
 		return db.execSelect(s, o)
+	case *sql.ExplainStmt:
+		return db.execExplain(s, o)
 	case *sql.InsertStmt:
 		return db.execInsert(s)
 	case *sql.UpdateStmt:
@@ -160,14 +242,100 @@ func (db *Database) ExecStmt(st sql.Statement, o ExecOptions) (*Result, error) {
 			return nil, fmt.Errorf("engine: unknown table %q", s.Table)
 		}
 		delete(db.tables, s.Table)
-		return &Result{}, nil
+		return &Result{Metrics: vclock.NewTracker(db.model).Snapshot()}, nil
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// observe feeds one successful statement's measurements into the
+// engine counters and, when enabled, the slow-query log.
+func (db *Database) observe(st sql.Statement, res *Result, text string) {
+	m := res.Metrics
+	mDataRead.Add(m.DataRead)
+	mDataWritten.Add(m.DataWrite)
+	mExecSeconds.Observe(m.ExecTime.Seconds())
+
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	if db.slowW == nil || db.slowThreshold <= 0 || m.ExecTime < db.slowThreshold {
+		return
+	}
+	mSlowQueries.Inc()
+	if text == "" {
+		text = fmt.Sprintf("%T", st)
+	}
+	rows := m.Rows
+	if rows == 0 {
+		rows = res.RowsAffected
+	}
+	line, err := json.Marshal(map[string]any{
+		"stmt":        text,
+		"exec_us":     m.ExecTime.Microseconds(),
+		"cpu_us":      m.CPUTime.Microseconds(),
+		"read_bytes":  m.DataRead,
+		"write_bytes": m.DataWrite,
+		"mem_bytes":   m.MemPeak,
+		"rows":        rows,
+		"dop":         m.DOP,
+	})
+	if err == nil {
+		db.slowW.Write(append(line, '\n'))
+	}
+}
+
+// execExplain optimizes (and for ANALYZE, executes) the inner SELECT,
+// returning one output row per rendered plan line.
+func (db *Database) execExplain(s *sql.ExplainStmt, o ExecOptions) (*Result, error) {
+	sel, ok := s.Stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT statements, got %T", s.Stmt)
+	}
+	bound, err := sql.NewBinder(db).BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	root, err := optimizer.Optimize(db, bound, db.optOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	if !s.Analyze {
+		out := &Result{
+			Columns: []string{"EXPLAIN"},
+			Plan:    root,
+			Metrics: vclock.NewTracker(db.model).Snapshot(),
+		}
+		for _, ln := range strings.Split(strings.TrimRight(ExplainString(root), "\n"), "\n") {
+			out.Rows = append(out.Rows, value.Row{value.NewString(ln)})
+		}
+		return out, nil
+	}
+	tr := vclock.NewTracker(db.model)
+	trace := &metrics.TraceNode{} // synthetic root; children are the operators
+	res, err := exec.RunTraced(tr, root, bound.TotalSlots, trace)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns: []string{"EXPLAIN ANALYZE"},
+		Metrics: res.Metrics,
+		Plan:    root,
+		Trace:   trace,
+	}
+	for _, ln := range trace.Render() {
+		out.Rows = append(out.Rows, value.Row{value.NewString(ln)})
+	}
+	out.Rows = append(out.Rows, value.Row{value.NewString(fmt.Sprintf("[%s]", res.Metrics))})
+	for _, bt := range bound.Tables {
+		out.Locks = append(out.Locks, LockDemand{Table: bt.Ref.Table, Rows: tr.RowsOut + 1})
+	}
+	return out, nil
 }
 
 // Plan optimizes a SELECT without executing it (the what-if costing
 // path DTA uses).
 func (db *Database) Plan(query string, o ExecOptions) (*plan.Root, *sql.BoundSelect, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	st, err := sql.ParseOne(query)
 	if err != nil {
 		return nil, nil, err
@@ -317,10 +485,10 @@ func (db *Database) execCreateTable(s *sql.CreateTableStmt) (*Result, error) {
 		}
 		pk = append(pk, ord)
 	}
-	if _, err := db.CreateTable(s.Table, schema, pk); err != nil {
+	if _, err := db.createTable(s.Table, schema, pk); err != nil {
 		return nil, err
 	}
-	return &Result{}, nil
+	return &Result{Metrics: vclock.NewTracker(db.model).Snapshot()}, nil
 }
 
 func (db *Database) execCreateIndex(s *sql.CreateIndexStmt) (*Result, error) {
@@ -381,11 +549,13 @@ func (db *Database) execDropIndex(s *sql.DropIndexStmt) (*Result, error) {
 	if !t.DropSecondary(s.Name) {
 		return nil, fmt.Errorf("engine: unknown index %q on %q", s.Name, s.Table)
 	}
-	return &Result{}, nil
+	return &Result{Metrics: vclock.NewTracker(db.model).Snapshot()}, nil
 }
 
 // TupleMoveAll runs columnstore maintenance on every table.
 func (db *Database) TupleMoveAll() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for _, t := range db.tables {
 		t.TupleMove(nil)
 	}

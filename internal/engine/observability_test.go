@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// TestExplainAnalyzeJoinAgg runs EXPLAIN ANALYZE over a join + group-by
+// aggregation and checks that the per-operator trace tree mirrors the
+// plan and carries actual rows, batches, bytes, and simulated time.
+func TestExplainAnalyzeJoinAgg(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, "CREATE TABLE orders (o_id BIGINT, o_cust BIGINT, PRIMARY KEY (o_id))")
+	mustExec(t, db, "CREATE TABLE lines (l_id BIGINT, l_order BIGINT, l_qty BIGINT, PRIMARY KEY (l_id))")
+	var orows, lrows []value.Row
+	for i := 0; i < 500; i++ {
+		orows = append(orows, value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 20))})
+	}
+	for i := 0; i < 5000; i++ {
+		lrows = append(lrows, value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 500)), value.NewInt(int64(i % 7))})
+	}
+	db.Table("orders").BulkLoad(nil, orows)
+	db.Table("lines").BulkLoad(nil, lrows)
+
+	q := `SELECT o_cust, count(*) FROM orders JOIN lines ON o_id = l_order
+		WHERE o_cust = 3 GROUP BY o_cust`
+	res := mustExec(t, db, "EXPLAIN ANALYZE "+q)
+	if res.Trace == nil {
+		t.Fatal("EXPLAIN ANALYZE returned nil Trace")
+	}
+	if res.Plan == nil {
+		t.Fatal("EXPLAIN ANALYZE returned nil Plan")
+	}
+
+	// The result must agree with running the query directly.
+	direct := mustExec(t, db, q)
+	if len(direct.Rows) != 1 || direct.Rows[0][1].Int() != 250 {
+		t.Fatalf("query rows: %v", direct.Rows)
+	}
+
+	// Every operator in the plan appears in the trace with its Describe
+	// name (the NLJ inner scan is an extra trace-only node, so the trace
+	// may hold more nodes than the plan).
+	var planNames []string
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		planNames = append(planNames, n.Describe())
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(res.Plan.Input)
+	for _, name := range planNames {
+		if res.Trace.Find(name) == nil {
+			t.Errorf("plan operator %q missing from trace:\n%s", name, res.Trace)
+		}
+	}
+
+	// Rendered lines carry the actual-execution annotations.
+	lines := res.Trace.Render()
+	if len(lines) < len(planNames) {
+		t.Fatalf("trace has %d lines for %d plan operators", len(lines), len(planNames))
+	}
+	for _, ln := range lines {
+		for _, want := range []string{"rows=", "batches=", "read=", "time="} {
+			if !strings.Contains(ln, want) {
+				t.Errorf("trace line %q missing %q", ln, want)
+			}
+		}
+	}
+
+	// The result rows are the rendered trace plus a summary line.
+	if len(res.Rows) != len(lines)+1 {
+		t.Fatalf("result rows = %d, trace lines = %d", len(res.Rows), len(lines))
+	}
+	if res.Columns[0] != "EXPLAIN ANALYZE" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+
+	// The aggregate emitted exactly one group; the trace recorded it.
+	agg := res.Trace.Find("Agg")
+	if agg == nil {
+		t.Fatalf("no aggregate node in trace:\n%s", res.Trace)
+	}
+	if agg.Rows != 1 {
+		t.Errorf("aggregate trace rows = %d, want 1", agg.Rows)
+	}
+	if res.Metrics.Rows != 1 {
+		t.Errorf("metrics rows = %d", res.Metrics.Rows)
+	}
+}
+
+// TestExplainPlain checks EXPLAIN without ANALYZE renders the plan
+// without executing (no trace).
+func TestExplainPlain(t *testing.T) {
+	db := newDB(t)
+	loadT(t, db, 1000, 10)
+	res := mustExec(t, db, "EXPLAIN SELECT count(*) FROM t WHERE col1 < 100")
+	if res.Trace != nil {
+		t.Fatal("plain EXPLAIN should not execute")
+	}
+	if len(res.Rows) == 0 || !strings.Contains(res.Rows[0][0].Str(), "rows=") {
+		t.Fatalf("EXPLAIN output: %v", res.Rows)
+	}
+	if _, err := db.Exec("EXPLAIN INSERT INTO t VALUES (99999, 0)"); err == nil {
+		t.Fatal("EXPLAIN of DML should error")
+	}
+}
+
+// TestResultMetricsConsistency checks satellite #1: every statement
+// kind — including DDL and the drop paths that used to return a bare
+// Result — carries a consistent Metrics snapshot (DOP >= 1).
+func TestResultMetricsConsistency(t *testing.T) {
+	db := newDB(t)
+	stmts := []string{
+		"CREATE TABLE m (a BIGINT, b BIGINT, PRIMARY KEY (a))",
+		"INSERT INTO m VALUES (1, 10), (2, 20)",
+		"SELECT a FROM m WHERE a = 1",
+		"EXPLAIN SELECT a FROM m",
+		"EXPLAIN ANALYZE SELECT a FROM m",
+		"UPDATE m SET b = 30 WHERE a = 2",
+		"DELETE FROM m WHERE a = 1",
+		"CREATE NONCLUSTERED INDEX ixb ON m (b)",
+		"DROP INDEX ixb ON m",
+		"DROP TABLE m",
+	}
+	for _, q := range stmts {
+		res := mustExec(t, db, q)
+		if res.Metrics.DOP < 1 {
+			t.Errorf("%q: Metrics.DOP = %d, want >= 1", q, res.Metrics.DOP)
+		}
+	}
+}
+
+// TestDataSkipping loads a sorted columnstore and checks a selective
+// predicate reports pruned rowgroups both in the global counters and in
+// the EXPLAIN ANALYZE trace attributes.
+func TestDataSkipping(t *testing.T) {
+	db := New(vclock.DefaultModel(vclock.DRAM), 0)
+	db.DefaultRowGroupSize = 2048
+	mustExec(t, db, "CREATE TABLE s (a BIGINT, b BIGINT)")
+	rows := make([]value.Row, 50000)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 7))}
+	}
+	db.Table("s").BulkLoad(nil, rows)
+	mustExec(t, db, "CREATE CLUSTERED COLUMNSTORE INDEX cci ON s (a)")
+
+	scanned0 := metrics.Default().Value("hybriddb_rowgroups_scanned_total")
+	pruned0 := metrics.Default().Value("hybriddb_rowgroups_pruned_total")
+
+	res := mustExec(t, db, "EXPLAIN ANALYZE SELECT sum(b) FROM s WHERE a < 100")
+
+	prunedDelta := metrics.Default().Value("hybriddb_rowgroups_pruned_total") - pruned0
+	scannedDelta := metrics.Default().Value("hybriddb_rowgroups_scanned_total") - scanned0
+	if prunedDelta <= 0 {
+		t.Errorf("global rowgroups_pruned delta = %v, want > 0", prunedDelta)
+	}
+	if scannedDelta <= 0 {
+		t.Errorf("global rowgroups_scanned delta = %v, want > 0", scannedDelta)
+	}
+
+	scan := res.Trace.Find("Columnstore")
+	if scan == nil {
+		t.Fatalf("no columnstore scan in trace:\n%s", res.Trace)
+	}
+	if v, ok := scan.Attr("rowgroups_pruned"); !ok || v <= 0 {
+		t.Errorf("trace rowgroups_pruned = %d (present=%v), want > 0", v, ok)
+	}
+	if v, ok := scan.Attr("rowgroups_scanned"); !ok || v <= 0 {
+		t.Errorf("trace rowgroups_scanned = %d (present=%v), want > 0", v, ok)
+	}
+	// With sorted data and a < 100, nearly all of the ~25 rowgroups
+	// should be eliminated.
+	if ps, _ := scan.Attr("rowgroups_pruned"); ps < 20 {
+		t.Errorf("rowgroups_pruned = %d, want >= 20 on sorted CSI", ps)
+	}
+}
+
+// TestSlowQueryLog checks the JSON-lines slow-query log and its
+// threshold filter.
+func TestSlowQueryLog(t *testing.T) {
+	db := newDB(t)
+	loadT(t, db, 20000, 10)
+	var buf bytes.Buffer
+	db.SetSlowQueryLog(&buf, 1) // 1ns: everything is slow
+	mustExec(t, db, "SELECT count(*) FROM t")
+	mustExec(t, db, "UPDATE t SET col2 = 1 WHERE col1 = 5")
+	db.SetSlowQueryLog(nil, 0)
+	mustExec(t, db, "SELECT count(*) FROM t") // not logged
+
+	sc := bufio.NewScanner(&buf)
+	var recs []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, m)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("logged %d statements, want 2", len(recs))
+	}
+	if got := recs[0]["stmt"]; got != "SELECT count(*) FROM t" {
+		t.Errorf("stmt = %v", got)
+	}
+	for _, k := range []string{"exec_us", "cpu_us", "read_bytes", "rows", "dop"} {
+		if _, ok := recs[0][k]; !ok {
+			t.Errorf("slow-query record missing %q: %v", k, recs[0])
+		}
+	}
+	if recs[1]["rows"].(float64) != 1 { // RowsAffected surfaces as rows
+		t.Errorf("DML rows = %v", recs[1]["rows"])
+	}
+
+	// Threshold above the virtual exec time suppresses logging.
+	var quiet bytes.Buffer
+	db.SetSlowQueryLog(&quiet, time.Hour)
+	mustExec(t, db, "SELECT count(*) FROM t")
+	if quiet.Len() != 0 {
+		t.Errorf("fast query logged: %s", quiet.String())
+	}
+}
+
+// TestExplainParse covers the SQL surface of EXPLAIN.
+func TestExplainParse(t *testing.T) {
+	st, err := sql.ParseOne("EXPLAIN ANALYZE SELECT 1 FROM x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*sql.ExplainStmt)
+	if !ok || !ex.Analyze {
+		t.Fatalf("parsed %#v", st)
+	}
+	if _, ok := ex.Stmt.(*sql.SelectStmt); !ok {
+		t.Fatalf("inner = %T", ex.Stmt)
+	}
+	if st, err = sql.ParseOne("EXPLAIN SELECT 1 FROM x"); err != nil {
+		t.Fatal(err)
+	} else if ex := st.(*sql.ExplainStmt); ex.Analyze {
+		t.Fatal("plain EXPLAIN parsed as ANALYZE")
+	}
+	if _, err := sql.ParseOne("EXPLAIN EXPLAIN SELECT 1 FROM x"); err == nil {
+		t.Fatal("nested EXPLAIN should not parse")
+	}
+}

@@ -281,6 +281,14 @@ func newBatchHashAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (*batchHashAgg,
 	if err != nil {
 		return nil, err
 	}
+	if ctx.Trace != nil {
+		// The scan never becomes a cursor here (the agg consumes the
+		// batch source directly), so it needs its own trace node and
+		// owns its rows/bytes/time accounting.
+		src.tn = ctx.Trace.Child(scan.Describe())
+		src.tn.Loops = 1
+		src.timed = true
+	}
 	core := newAggCore(ctx, a)
 	m := ctx.Tr.Model
 	scratch := make(value.Row, ctx.TotalSlots)

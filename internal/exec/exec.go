@@ -9,6 +9,7 @@ package exec
 import (
 	"fmt"
 
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
@@ -24,6 +25,10 @@ type Context struct {
 	TotalSlots int
 	// DOP is the plan's degree of parallelism.
 	DOP int
+	// Trace, when non-nil, is the trace node Build attaches per-operator
+	// children to (EXPLAIN ANALYZE). Nil tracing adds zero overhead to
+	// the hot path.
+	Trace *metrics.TraceNode
 }
 
 // overGrant reports whether allocating need more bytes would exceed
@@ -46,7 +51,13 @@ type Result struct {
 
 // Run executes a plan to completion.
 func Run(tr *vclock.Tracker, root *plan.Root, totalSlots int) (*Result, error) {
-	ctx := &Context{Tr: tr, Grant: root.MemGrant, TotalSlots: totalSlots, DOP: root.DOP}
+	return RunTraced(tr, root, totalSlots, nil)
+}
+
+// RunTraced executes a plan to completion, attaching a per-operator
+// trace tree under tn when it is non-nil (EXPLAIN ANALYZE).
+func RunTraced(tr *vclock.Tracker, root *plan.Root, totalSlots int, tn *metrics.TraceNode) (*Result, error) {
+	ctx := &Context{Tr: tr, Grant: root.MemGrant, TotalSlots: totalSlots, DOP: root.DOP, Trace: tn}
 	tr.SetDOP(root.DOP)
 	cur, err := Build(ctx, root.Input)
 	if err != nil {
@@ -65,8 +76,38 @@ func Run(tr *vclock.Tracker, root *plan.Root, totalSlots int) (*Result, error) {
 	return res, nil
 }
 
-// Build constructs the cursor tree for a plan node.
+// Build constructs the cursor tree for a plan node. With tracing
+// enabled it also mirrors the plan as a metrics.TraceNode tree: every
+// operator is wrapped in a cursor that counts emitted rows and
+// accumulates the byte-read and simulated-time deltas of its subtree
+// (construction included, so blocking operators that drain their
+// input up front — hash builds, sorts, aggregates — attribute that
+// work correctly).
 func Build(ctx *Context, n plan.Node) (Cursor, error) {
+	if root, ok := n.(*plan.Root); ok {
+		return Build(ctx, root.Input)
+	}
+	if ctx.Trace == nil {
+		return buildNode(ctx, n)
+	}
+	parent := ctx.Trace
+	tn := parent.Child(n.Describe())
+	tn.Loops = 1
+	ctx.Trace = tn
+	b0, t0 := ctx.Tr.BytesRead, ctx.Tr.ExecTime()
+	cur, err := buildNode(ctx, n)
+	tn.BytesRead += ctx.Tr.BytesRead - b0
+	tn.Time += ctx.Tr.ExecTime() - t0
+	ctx.Trace = parent
+	if err != nil {
+		return nil, err
+	}
+	return &traceCursor{ctx: ctx, tn: tn, in: cur}, nil
+}
+
+// buildNode constructs the cursor for one plan node (children recurse
+// through Build so they pick up tracing).
+func buildNode(ctx *Context, n plan.Node) (Cursor, error) {
 	switch node := n.(type) {
 	case *plan.Scan:
 		return buildScan(ctx, node)

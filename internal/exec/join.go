@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
@@ -19,7 +20,14 @@ func buildJoin(ctx *Context, j *plan.Join) (Cursor, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &nljCursor{ctx: ctx, j: j, outer: outer, inner: inner}, nil
+		c := &nljCursor{ctx: ctx, j: j, outer: outer, inner: inner}
+		if ctx.Trace != nil {
+			// The inner scan is re-instantiated per outer row, so all
+			// instantiations share one trace node with Loops counting
+			// the rebinds.
+			c.innerTN = ctx.Trace.Child(inner.Describe())
+		}
+		return c, nil
 	case plan.JoinHash:
 		return newHashJoinCursor(ctx, j)
 	case plan.JoinMerge:
@@ -146,10 +154,11 @@ func (c *mergeJoinCursor) Next() (value.Row, bool) {
 // the plan shape the paper's Section 5.3 hybrid examples use (index
 // seek + nested loop into fact tables).
 type nljCursor struct {
-	ctx   *Context
-	j     *plan.Join
-	outer Cursor
-	inner *plan.Scan
+	ctx     *Context
+	j       *plan.Join
+	outer   Cursor
+	inner   *plan.Scan
+	innerTN *metrics.TraceNode // shared across inner rebinds (EXPLAIN ANALYZE)
 
 	curOuter value.Row
 	innerCur Cursor
@@ -180,6 +189,10 @@ func (c *nljCursor) Next() (value.Row, bool) {
 				// Planner guarantees seekability; treat as empty inner.
 				c.innerCur = nil
 				continue
+			}
+			if c.innerTN != nil {
+				c.innerTN.Loops++
+				cur = &traceCursor{ctx: c.ctx, tn: c.innerTN, in: cur}
 			}
 			c.innerCur = cur
 		}

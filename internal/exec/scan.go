@@ -225,6 +225,13 @@ func newCSICursor(ctx *Context, s *plan.Scan) (*csiCursor, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctx.Trace != nil {
+		// ctx.Trace is this scan's own node (Build sets it before the
+		// constructor runs); the wrapping traceCursor accounts rows,
+		// bytes, and time, so the source only adds batch counts and
+		// rowgroup-elimination attributes.
+		src.tn = ctx.Trace
+	}
 	return &csiCursor{ctx: ctx, s: s, src: src}, nil
 }
 

@@ -2,8 +2,10 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"hybriddb/internal/colstore"
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/sql"
 	"hybriddb/internal/value"
@@ -22,6 +24,14 @@ type csiBatchSource struct {
 	colPos  map[int]int // table ordinal -> vector index
 	uidIdx  int
 	scratch value.Row
+
+	// tn, when non-nil, receives batch counts and rowgroup-elimination
+	// stats. When timed is set the source also owns the node's rows,
+	// bytes, and time (batch-mode parents consume the source directly,
+	// bypassing the per-node cursor wrapper); otherwise the wrapping
+	// traceCursor accounts for those.
+	tn    *metrics.TraceNode
+	timed bool
 }
 
 func newCSIBatchSource(ctx *Context, s *plan.Scan) (*csiBatchSource, error) {
@@ -81,6 +91,11 @@ func newCSIBatchSource(ctx *Context, s *plan.Scan) (*csiBatchSource, error) {
 // selection vector, or nil at the end.
 func (s *csiBatchSource) next() (*vec.Batch, bool) {
 	m := s.ctx.Tr.Model
+	var b0 int64
+	var t0 time.Duration
+	if s.tn != nil && s.timed {
+		b0, t0 = s.ctx.Tr.BytesRead, s.ctx.Tr.ExecTime()
+	}
 	for s.sc.Next() {
 		b := s.sc.Batch()
 		for _, cond := range s.s.Filter {
@@ -94,10 +109,35 @@ func (s *csiBatchSource) next() (*vec.Batch, bool) {
 			}
 		}
 		if b.Len() > 0 {
+			s.observe(b.Len(), b0, t0)
 			return b, true
 		}
 	}
+	s.observe(0, b0, t0)
 	return nil, false
+}
+
+// observe records per-batch trace stats and keeps the node's rowgroup
+// elimination attributes in sync with the scanner.
+func (s *csiBatchSource) observe(rows int, b0 int64, t0 time.Duration) {
+	if s.tn == nil {
+		return
+	}
+	if rows > 0 {
+		s.tn.Batches++
+	}
+	if s.timed {
+		if rows > 0 {
+			s.tn.Rows += int64(rows)
+		}
+		s.tn.BytesRead += s.ctx.Tr.BytesRead - b0
+		s.tn.Time += s.ctx.Tr.ExecTime() - t0
+	}
+	s.tn.SetAttr("rowgroups_scanned", int64(s.sc.GroupsScanned))
+	s.tn.SetAttr("rowgroups_pruned", int64(s.sc.GroupsEliminated))
+	if s.sc.DeltaRowsScanned > 0 {
+		s.tn.SetAttr("delta_rows", int64(s.sc.DeltaRowsScanned))
+	}
 }
 
 // applyFast handles ColRef-op-Lit conjuncts on integer-representable

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// ServeHTTP serves the registry in Prometheus text exposition format,
+// making *Registry a http.Handler mountable at /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+// Handler returns the /metrics handler for the Default registry.
+func Handler() http.Handler { return Default() }
+
+var publishOnce sync.Once
+
+// publishExpvar exposes the default registry's snapshot as one expvar
+// map, visible at /debug/vars alongside the runtime's memstats.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("hybriddb", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/metrics     Prometheus text format (Default registry)
+//	/debug/vars  expvar JSON (runtime memstats + hybriddb snapshot)
+//
+// The listener is bound synchronously (so address errors surface to
+// the caller) and served in a background goroutine. The returned
+// server can be Closed to stop it.
+func Serve(addr string) (*http.Server, error) {
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,336 @@
+// Package metrics is the engine-wide observability substrate: a
+// lightweight, concurrency-safe registry of named counters, gauges,
+// and fixed-log-bucket histograms, plus the per-query trace tree that
+// backs EXPLAIN ANALYZE (trace.go) and a hand-rolled Prometheus
+// text-format / expvar HTTP surface (http.go).
+//
+// Every subsystem registers its metrics at package init into the
+// process-wide Default registry (the expvar idiom), so importing a
+// package is enough to make its counters visible at /metrics. All
+// metric operations are lock-free atomic updates and are safe to call
+// from concurrent query executions; registration takes a registry
+// lock but normally happens once per process.
+//
+// Metric names follow the Prometheus convention:
+// hybriddb_<subsystem>_<what>_<unit-or-total>.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric is one named instrument in a Registry.
+type Metric interface {
+	Name() string
+	Help() string
+	// Kind is the Prometheus metric type: "counter", "gauge", or
+	// "histogram".
+	Kind() string
+	// writeProm emits the metric's sample lines (not the # HELP/# TYPE
+	// header) in Prometheus text format.
+	writeProm(w io.Writer)
+	// snapshot appends flat name -> value pairs (histograms contribute
+	// _count and _sum).
+	snapshot(out map[string]float64)
+}
+
+// Registry holds a set of uniquely named metrics.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]Metric
+}
+
+// NewRegistry creates an empty registry (tests; production code uses
+// Default).
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]Metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry served at /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// register adds m, returning the already-registered metric when the
+// name is taken (so package-level re-registration is idempotent). A
+// name collision across metric kinds panics: it is a programming
+// error, not a runtime condition.
+func (r *Registry) register(m Metric) Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.metrics[m.Name()]; ok {
+		if prev.Kind() != m.Kind() {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s (was %s)", m.Name(), m.Kind(), prev.Kind()))
+		}
+		return prev
+	}
+	r.metrics[m.Name()] = m
+	return m
+}
+
+// Get returns the named metric, or nil.
+func (r *Registry) Get(name string) Metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.metrics[name]
+}
+
+// sorted returns the metrics in name order (stable rendering).
+func (r *Registry) sorted() []Metric {
+	r.mu.RLock()
+	out := make([]Metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Snapshot returns a flat name -> value view of every metric:
+// counters and gauges map to their value, histograms contribute
+// <name>_count and <name>_sum. Used by the expvar surface, the
+// hybridbench summary, and tests.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range r.sorted() {
+		m.snapshot(out)
+	}
+	return out
+}
+
+// Value returns the snapshot value of one metric (0 when absent).
+func (r *Registry) Value(name string) float64 {
+	return r.Snapshot()[name]
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, m := range r.sorted() {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.Name(), m.Help())
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.Name(), m.Kind())
+		m.writeProm(w)
+	}
+}
+
+// ---------------------------------------------------------------- Counter
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter registers (or returns the existing) counter in Default.
+func NewCounter(name, help string) *Counter {
+	return Default().Counter(name, help)
+}
+
+// Counter registers (or returns the existing) counter in r.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(&Counter{name: name, help: help}).(*Counter)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Help returns the help text.
+func (c *Counter) Help() string { return c.help }
+
+// Kind returns "counter".
+func (c *Counter) Kind() string { return "counter" }
+
+func (c *Counter) writeProm(w io.Writer) { fmt.Fprintf(w, "%s %d\n", c.name, c.Value()) }
+
+func (c *Counter) snapshot(out map[string]float64) { out[c.name] = float64(c.Value()) }
+
+// ---------------------------------------------------------------- Gauge
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers (or returns the existing) gauge in Default.
+func NewGauge(name, help string) *Gauge {
+	return Default().Gauge(name, help)
+}
+
+// Gauge registers (or returns the existing) gauge in r.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(&Gauge{name: name, help: help}).(*Gauge)
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Help returns the help text.
+func (g *Gauge) Help() string { return g.help }
+
+// Kind returns "gauge".
+func (g *Gauge) Kind() string { return "gauge" }
+
+func (g *Gauge) writeProm(w io.Writer) { fmt.Fprintf(w, "%s %d\n", g.name, g.Value()) }
+
+func (g *Gauge) snapshot(out map[string]float64) { out[g.name] = float64(g.Value()) }
+
+// ---------------------------------------------------------------- GaugeFunc
+
+// GaugeFunc is a gauge sampled from a callback at render time (for
+// values owned by another data structure, e.g. buffer-pool residency).
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc registers (or returns the existing) sampled gauge in
+// Default. A re-registration keeps the first callback.
+func NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return Default().GaugeFunc(name, help, fn)
+}
+
+// GaugeFunc registers (or returns the existing) sampled gauge in r.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return r.register(&GaugeFunc{name: name, help: help, fn: fn}).(*GaugeFunc)
+}
+
+// Value samples the callback.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+// Name returns the metric name.
+func (g *GaugeFunc) Name() string { return g.name }
+
+// Help returns the help text.
+func (g *GaugeFunc) Help() string { return g.help }
+
+// Kind returns "gauge".
+func (g *GaugeFunc) Kind() string { return "gauge" }
+
+func (g *GaugeFunc) writeProm(w io.Writer) { fmt.Fprintf(w, "%s %g\n", g.name, g.fn()) }
+
+func (g *GaugeFunc) snapshot(out map[string]float64) { out[g.name] = g.fn() }
+
+// ---------------------------------------------------------------- Histogram
+
+// DefaultBuckets returns the standard log-scale bucket bounds used for
+// simulated-duration histograms: factor-of-4 steps from 1µs to ~4000s
+// (16 buckets). Fixed log-scale buckets keep Observe lock-free and
+// allocation-free.
+func DefaultBuckets() []float64 { return LogBuckets(1e-6, 4, 16) }
+
+// LogBuckets returns n upper bounds starting at start, each factor
+// times the previous.
+func LogBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram counts observations into fixed log-scale buckets.
+type Histogram struct {
+	name, help string
+	bounds     []float64      // ascending upper bounds; implicit +Inf last
+	counts     []atomic.Int64 // len(bounds)+1
+	count      atomic.Int64
+	sumBits    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram registers (or returns the existing) histogram with
+// DefaultBuckets in Default.
+func NewHistogram(name, help string) *Histogram {
+	return Default().Histogram(name, help, DefaultBuckets())
+}
+
+// Histogram registers (or returns the existing) histogram in r.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{name: name, help: help, bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return r.register(h).(*Histogram)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Help returns the help text.
+func (h *Histogram) Help() string { return h.help }
+
+// Kind returns "histogram".
+func (h *Histogram) Kind() string { return "histogram" }
+
+func (h *Histogram) writeProm(w io.Writer) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+}
+
+func (h *Histogram) snapshot(out map[string]float64) {
+	out[h.name+"_count"] = float64(h.Count())
+	out[h.name+"_sum"] = h.Sum()
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_rows", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	r.GaugeFunc("test_sampled", "sampled", func() float64 { return 2.5 })
+
+	snap := r.Snapshot()
+	if snap["test_total"] != 5 || snap["test_rows"] != 6 || snap["test_sampled"] != 2.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if r.Value("test_total") != 5 {
+		t.Fatalf("Value lookup failed")
+	}
+}
+
+func TestReRegistrationReturnsExisting(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "x")
+	a.Add(7)
+	b := r.Counter("dup_total", "x")
+	if a != b {
+		t.Fatalf("re-registration returned a new counter")
+	}
+	if b.Value() != 7 {
+		t.Fatalf("value lost on re-registration")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("cross-kind re-registration should panic")
+		}
+	}()
+	r.Gauge("dup_total", "x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "durations", LogBuckets(1e-6, 10, 4)) // 1µs..1ms, +Inf
+	for _, v := range []float64{5e-7, 5e-5, 5e-5, 0.5, 99} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() < 99.5 || h.Sum() > 99.6 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="1e-06"} 1`,
+		`test_seconds_bucket{le="0.001"} 3`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	c := NewCounter("test_handler_total", "handler smoke")
+	c.Inc()
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var b strings.Builder
+	if _, err := copyAll(&b, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_handler_total") {
+		t.Fatalf("handler output missing registered counter")
+	}
+}
+
+func copyAll(b *strings.Builder, resp *http.Response) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := resp.Body.Read(buf)
+		b.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+// TestConcurrentUpdates doubles as the registry's -race test: many
+// goroutines hammer the same metrics while another renders snapshots.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "")
+	g := r.Gauge("race_gauge", "")
+	h := r.Histogram("race_seconds", "", DefaultBuckets())
+	var wg sync.WaitGroup
+	const workers, iters = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(int64(seed - 3))
+				h.Observe(float64(i) * 1e-6)
+				if i%500 == 0 {
+					// Concurrent registration of the same names must be safe.
+					r.Counter("race_total", "")
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("lost increments: %d", c.Value())
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+func TestTraceTreeRender(t *testing.T) {
+	root := &TraceNode{} // synthetic container
+	agg := root.Child("HashAggregate")
+	agg.Rows = 4
+	agg.Time = 1500 * time.Microsecond
+	scan := agg.Child("ColumnstoreScan(t)")
+	scan.Rows = 1000
+	scan.Batches = 2
+	scan.BytesRead = 2_500_000
+	scan.Time = 1200 * time.Microsecond
+	scan.SetAttr("rowgroups_scanned", 2)
+	scan.SetAttr("rowgroups_pruned", 6)
+	scan.SetAttr("rowgroups_pruned", 7) // overwrite
+
+	lines := root.Render()
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "HashAggregate rows=4 batches=0") {
+		t.Errorf("bad agg line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  ColumnstoreScan(t) rows=1000 batches=2 read=2.50MB") {
+		t.Errorf("bad scan line %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "rowgroups_pruned=7") {
+		t.Errorf("attr overwrite failed: %q", lines[1])
+	}
+	if n := root.Find("ColumnstoreScan"); n != scan {
+		t.Errorf("Find failed")
+	}
+	if v, ok := scan.Attr("rowgroups_scanned"); !ok || v != 2 {
+		t.Errorf("Attr lookup failed")
+	}
+}

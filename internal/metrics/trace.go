@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TraceNode is one operator in a per-query execution trace tree — the
+// data behind EXPLAIN ANALYZE. The executor attaches one node per plan
+// operator and records the rows and batches it emitted, the bytes it
+// (and its subtree) read, and the simulated time it (and its subtree)
+// consumed. BytesRead and Time are inclusive of children, mirroring
+// how actual-execution plans report node times in SQL Server and
+// Postgres; Rows and Batches are the node's own output.
+type TraceNode struct {
+	Name      string
+	Rows      int64
+	Batches   int64
+	Loops     int64 // times the operator was (re)started; 0 reads as 1
+	BytesRead int64
+	Time      time.Duration
+	Attrs     []TraceAttr // operator-specific extras, in insertion order
+	Children  []*TraceNode
+}
+
+// TraceAttr is one operator-specific key=value annotation (e.g.
+// rowgroups_pruned=6).
+type TraceAttr struct {
+	Key string
+	Val int64
+}
+
+// Child appends and returns a new child node.
+func (n *TraceNode) Child(name string) *TraceNode {
+	c := &TraceNode{Name: name}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// SetAttr sets (or overwrites) an annotation.
+func (n *TraceNode) SetAttr(key string, val int64) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Key == key {
+			n.Attrs[i].Val = val
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, TraceAttr{Key: key, Val: val})
+}
+
+// Attr returns an annotation's value and whether it is set.
+func (n *TraceNode) Attr(key string) (int64, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Find returns the first node in the subtree (pre-order, including n)
+// whose name contains substr, or nil.
+func (n *TraceNode) Find(substr string) *TraceNode {
+	if strings.Contains(n.Name, substr) {
+		return n
+	}
+	for _, c := range n.Children {
+		if f := c.Find(substr); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// line renders one node without indentation.
+func (n *TraceNode) line() string {
+	var b strings.Builder
+	b.WriteString(n.Name)
+	fmt.Fprintf(&b, " rows=%d", n.Rows)
+	if n.Loops > 1 {
+		fmt.Fprintf(&b, " loops=%d", n.Loops)
+	}
+	fmt.Fprintf(&b, " batches=%d", n.Batches)
+	fmt.Fprintf(&b, " read=%s", FormatBytes(n.BytesRead))
+	fmt.Fprintf(&b, " time=%v", n.Time.Round(time.Microsecond))
+	for _, a := range n.Attrs {
+		fmt.Fprintf(&b, " %s=%d", a.Key, a.Val)
+	}
+	return b.String()
+}
+
+// Render returns the subtree as indented lines, two spaces per level.
+// Synthetic root containers (empty Name) contribute no line of their
+// own.
+func (n *TraceNode) Render() []string {
+	var out []string
+	var walk func(node *TraceNode, depth int)
+	walk = func(node *TraceNode, depth int) {
+		if node.Name != "" {
+			out = append(out, strings.Repeat("  ", depth)+node.line())
+			depth++
+		}
+		for _, c := range node.Children {
+			walk(c, depth)
+		}
+	}
+	walk(n, 0)
+	return out
+}
+
+// String renders the subtree as one newline-joined block.
+func (n *TraceNode) String() string { return strings.Join(n.Render(), "\n") }
+
+// FormatBytes renders a byte count compactly (B, KB, MB, GB).
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.1fKB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -5,10 +5,17 @@ import (
 	"math"
 	"time"
 
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/sql"
 	"hybriddb/internal/table"
 	"hybriddb/internal/vclock"
+)
+
+// Process-wide optimizer counters.
+var (
+	mPlans       = metrics.NewCounter("hybriddb_optimizer_plans_total", "physical plans produced")
+	mAccessPaths = metrics.NewCounter("hybriddb_optimizer_access_paths_total", "access-path candidates costed")
 )
 
 // Resolver maps table names to physical tables.
@@ -200,6 +207,7 @@ func Optimize(res Resolver, b *sql.BoundSelect, opts Options) (*plan.Root, error
 	for _, it := range b.Items {
 		root.Columns = append(root.Columns, it.Alias)
 	}
+	mPlans.Inc()
 	return root, nil
 }
 
@@ -254,6 +262,7 @@ func bestCandidate(t *table.Table, info *tableInfo, b *sql.BoundSelect, opts Opt
 	}
 	best := cands[0]
 	bestTotal := time.Duration(math.MaxInt64)
+	mAccessPaths.Add(int64(len(cands)))
 	for _, c := range cands {
 		total := c.cost() + downstreamCost(t, info, b, opts, &c)
 		if total < bestTotal {

@@ -113,6 +113,15 @@ type DropTableStmt struct {
 	Table string
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN renders
+// the chosen physical plan; EXPLAIN ANALYZE also executes it and
+// annotates each operator with actual rows, batches, bytes read, and
+// simulated time.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    Statement
+}
+
 func (*SelectStmt) stmt()      {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
@@ -121,6 +130,7 @@ func (*CreateTableStmt) stmt() {}
 func (*CreateIndexStmt) stmt() {}
 func (*DropIndexStmt) stmt()   {}
 func (*DropTableStmt) stmt()   {}
+func (*ExplainStmt) stmt()     {}
 
 // Expr is any expression node. After binding, column references carry
 // their slot in the executor's composite row layout and every node has

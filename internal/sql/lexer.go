@@ -41,6 +41,7 @@ var keywords = map[string]bool{
 	"VARCHAR": true, "DATE": true, "BOOLEAN": true, "COUNT": true, "SUM": true,
 	"AVG": true, "MIN": true, "MAX": true, "DISTINCT": true, "HAVING": true,
 	"LIMIT": true, "DATEADD": true, "DAY": true, "MONTH": true, "YEAR": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 type lexer struct {

@@ -97,9 +97,27 @@ func (p *parser) statement() (Statement, error) {
 		return p.createStmt()
 	case p.at(tokKeyword, "DROP"):
 		return p.dropStmt()
+	case p.at(tokKeyword, "EXPLAIN"):
+		return p.explainStmt()
 	}
 	t := p.cur()
 	return nil, fmt.Errorf("sql: unexpected %q at offset %d", t.text, t.pos)
+}
+
+func (p *parser) explainStmt() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze := p.accept(tokKeyword, "ANALYZE")
+	if p.at(tokKeyword, "EXPLAIN") {
+		t := p.cur()
+		return nil, fmt.Errorf("sql: cannot nest EXPLAIN at offset %d", t.pos)
+	}
+	inner, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Analyze: analyze, Stmt: inner}, nil
 }
 
 func (p *parser) topClause() (int64, error) {

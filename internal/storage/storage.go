@@ -15,7 +15,17 @@ import (
 	"fmt"
 	"sync"
 
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/vclock"
+)
+
+// Process-wide buffer-pool counters (all Stores in the process share
+// them; per-Store numbers remain available via Stats).
+var (
+	mPoolHits      = metrics.NewCounter("hybriddb_pool_hits_total", "buffer pool hits")
+	mPoolMisses    = metrics.NewCounter("hybriddb_pool_misses_total", "buffer pool misses")
+	mPoolEvictions = metrics.NewCounter("hybriddb_pool_evictions_total", "buffer pool evictions")
+	mPoolReadBytes = metrics.NewCounter("hybriddb_pool_read_bytes_total", "bytes read into the buffer pool on misses")
 )
 
 // PageID identifies a page in a Store.
@@ -130,6 +140,7 @@ func (s *Store) Get(tr *vclock.Tracker, id PageID, sequential bool) Page {
 		s.lru.MoveToFront(e.elem)
 		s.hitCount++
 		s.mu.Unlock()
+		mPoolHits.Inc()
 		if tr != nil {
 			tr.PagesRead++
 		}
@@ -139,6 +150,8 @@ func (s *Store) Get(tr *vclock.Tracker, id PageID, sequential bool) Page {
 	s.admit(e)
 	size := e.size
 	s.mu.Unlock()
+	mPoolMisses.Inc()
+	mPoolReadBytes.Add(size)
 	if tr != nil {
 		tr.PagesRead++
 		if sequential {
@@ -203,6 +216,7 @@ func (s *Store) evictOver() {
 		s.lru.Remove(back)
 		ev.elem = nil
 		s.resident -= ev.size
+		mPoolEvictions.Inc()
 	}
 }
 

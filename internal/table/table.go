@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"hybriddb/internal/btree"
 	"hybriddb/internal/colstore"
@@ -89,6 +90,10 @@ type Table struct {
 	nextUID      int64
 	rowCount     int64
 
+	// statsMu guards the lazily built histogram cache: concurrent
+	// read-only queries (which hold only the engine's shared lock) may
+	// both trigger a build for the same column.
+	statsMu    sync.Mutex
 	histograms map[int]*stats.Histogram
 	statsDirty bool
 }
@@ -672,6 +677,8 @@ func (t *Table) FetchRow(tr *vclock.Tracker, clusterVals value.Row, uid int64) (
 // Histogram returns (building lazily from a block sample) the
 // equi-depth histogram for a column.
 func (t *Table) Histogram(col int) *stats.Histogram {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
 	if t.statsDirty {
 		t.histograms = make(map[int]*stats.Histogram)
 		t.statsDirty = false

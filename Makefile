@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench
+.PHONY: all build vet test race ci bench benchsmoke
 
 all: ci
 
@@ -18,8 +18,14 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# ci is the tier-1 gate referenced from ROADMAP.md.
-ci: vet build test race
+# ci is the tier-1 gate referenced from ROADMAP.md. benchsmoke runs the
+# parallel-executor benchmarks for one iteration so the morsel dispatch
+# and gather paths are exercised even when no test opts into them.
+ci: vet build test race benchsmoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+	BENCH_JSON=$(CURDIR)/BENCH_parallel.json $(GO) test -bench 'BenchmarkParallel(Scan|Agg)' -run '^$$' .
+
+benchsmoke:
+	$(GO) test -bench 'BenchmarkParallel(Scan|Agg)' -benchtime 1x -run '^$$' .

@@ -1,0 +1,159 @@
+// Parallel-execution benchmarks: the same CSI scan and aggregation at
+// worker counts 1/2/4/8, so the morsel-driven executor's wall-clock
+// trajectory is tracked across commits. Virtual metrics are identical
+// at every DOP by construction (see internal/exec/parallel.go); these
+// measure the one thing that is allowed to change — real elapsed time.
+//
+// `make bench` runs them with BENCH_JSON set, which writes
+// BENCH_parallel.json (ns/op per DOP plus speedup vs DOP 1). On a
+// single-core machine speedups hover around 1×; the ≥2× target in
+// ISSUE.md applies to 4+ core hardware.
+package hybriddb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"hybriddb/internal/value"
+)
+
+// parallelBenchDB builds a clustered-columnstore table with enough
+// rowgroups (~25) that morsel dispatch has real work to split.
+func parallelBenchDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open(WithRowGroupSize(8192))
+	if _, err := db.Exec("CREATE TABLE pb (k BIGINT, g BIGINT, v BIGINT)"); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	rows := make([]value.Row, 200_000)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(64)),
+			value.NewInt(rng.Int63n(10_000)),
+		}
+	}
+	db.Internal().Table("pb").BulkLoad(nil, rows)
+	if _, err := db.Exec("CREATE CLUSTERED COLUMNSTORE INDEX cci ON pb (k)"); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+var parallelDOPs = []int{1, 2, 4, 8}
+
+func benchParallelQuery(b *testing.B, name, query string, wantRows int) {
+	db := parallelBenchDB(b)
+	for _, dop := range parallelDOPs {
+		b.Run(fmt.Sprintf("DOP%d", dop), func(b *testing.B) {
+			opts := ExecOptions{Parallelism: dop}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := db.Exec(query, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != wantRows {
+					b.Fatalf("%d rows, want %d", len(res.Rows), wantRows)
+				}
+			}
+			b.StopTimer()
+			recordParallelBench(name, dop, b)
+		})
+	}
+}
+
+// BenchmarkParallelScan drains a selective multi-rowgroup scan through
+// the exchange (gather of per-morsel row batches).
+func BenchmarkParallelScan(b *testing.B) {
+	benchParallelQuery(b, "scan", "SELECT k, v FROM pb WHERE g < 8", 25032)
+}
+
+// BenchmarkParallelAgg runs partial per-worker hash aggregation with a
+// merging gather.
+func BenchmarkParallelAgg(b *testing.B) {
+	benchParallelQuery(b, "agg", "SELECT g, count(*), sum(v), min(k), max(k) FROM pb GROUP BY g", 64)
+}
+
+// --- BENCH_parallel.json writer (active only when BENCH_JSON is set) ---
+
+type parallelBenchRecord struct {
+	Bench   string  `json:"bench"`
+	DOP     int     `json:"dop"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_dop1"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchRecords []parallelBenchRecord
+)
+
+func recordParallelBench(name string, dop int, b *testing.B) {
+	if os.Getenv("BENCH_JSON") == "" {
+		return
+	}
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	rec := parallelBenchRecord{
+		Bench: name, DOP: dop,
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}
+	// The framework sizes b.N with trial runs; keep only the final
+	// (largest-N, last-recorded) measurement per benchmark × DOP.
+	for i := range benchRecords {
+		if benchRecords[i].Bench == name && benchRecords[i].DOP == dop {
+			benchRecords[i] = rec
+			return
+		}
+	}
+	benchRecords = append(benchRecords, rec)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
+		benchMu.Lock()
+		sort.SliceStable(benchRecords, func(i, j int) bool {
+			if benchRecords[i].Bench != benchRecords[j].Bench {
+				return benchRecords[i].Bench < benchRecords[j].Bench
+			}
+			return benchRecords[i].DOP < benchRecords[j].DOP
+		})
+		base := map[string]float64{}
+		for _, r := range benchRecords {
+			if r.DOP == 1 {
+				base[r.Bench] = r.NsPerOp
+			}
+		}
+		for i := range benchRecords {
+			if b := base[benchRecords[i].Bench]; b > 0 {
+				benchRecords[i].Speedup = b / benchRecords[i].NsPerOp
+			}
+		}
+		out := struct {
+			GOMAXPROCS int                   `json:"gomaxprocs"`
+			NumCPU     int                   `json:"num_cpu"`
+			Results    []parallelBenchRecord `json:"results"`
+		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), benchRecords}
+		benchMu.Unlock()
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_JSON: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

@@ -81,6 +81,7 @@ type config struct {
 	model        *vclock.Model
 	poolBytes    int64
 	rowGroupSize int
+	parallelism  int
 }
 
 // WithColdStorage prices data access against the paper's HDD profile;
@@ -101,6 +102,16 @@ func WithRowGroupSize(rows int) Option {
 	return func(c *config) { c.rowGroupSize = rows }
 }
 
+// WithParallelism sets the default worker budget for morsel-driven
+// parallel execution: 1 forces serial, N caps the worker pool at N, 0
+// (the default) picks automatically — all cores when the buffer pool
+// is unbounded, serial otherwise. Per-statement ExecOptions.Parallelism
+// overrides it. Parallel workers change only wall-clock time; virtual
+// metrics are identical at every setting.
+func WithParallelism(workers int) Option {
+	return func(c *config) { c.parallelism = workers }
+}
+
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
 	cfg := config{model: vclock.DefaultModel(vclock.DRAM)}
@@ -109,6 +120,7 @@ func Open(opts ...Option) *DB {
 	}
 	db := engine.New(cfg.model, cfg.poolBytes)
 	db.DefaultRowGroupSize = cfg.rowGroupSize
+	db.DefaultParallelism = cfg.parallelism
 	return &DB{inner: db}
 }
 

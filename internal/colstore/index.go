@@ -147,6 +147,13 @@ func (x *Index) Rows() int64 { return x.nLive }
 // DeltaRows returns the number of rows in the delta store.
 func (x *Index) DeltaRows() int64 { return x.delta.Count() }
 
+// Partitionable reports whether a scan of this index may be split into
+// independent rowgroup morsels. A pending delete buffer forbids it: the
+// buffer is consumed as a destructive anti-semi multiset during the
+// scan, so concurrent partitions would race over which physical row a
+// buffered delete cancels.
+func (x *Index) Partitionable() bool { return x.nBuf == 0 }
+
 // BufferedDeletes returns the number of entries in the delete buffer.
 func (x *Index) BufferedDeletes() int { return x.nBuf }
 

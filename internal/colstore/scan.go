@@ -24,6 +24,18 @@ type ScanSpec struct {
 	Lo, Hi   value.Value
 	// SkipDelta omits delta-store rows (used by maintenance scans).
 	SkipDelta bool
+	// Partition, when non-nil, restricts the scan to one morsel of a
+	// parallel execution: compressed rowgroups [GroupLo, GroupHi) plus,
+	// when Delta is set, the whole delta store. Segment elimination still
+	// applies within the range. Partitions are only valid on indexes for
+	// which Partitionable reports true.
+	Partition *ScanPartition
+}
+
+// ScanPartition names one morsel of a partitioned scan.
+type ScanPartition struct {
+	GroupLo, GroupHi int  // compressed rowgroup range [lo, hi)
+	Delta            bool // include the delta store
 }
 
 // Scanner iterates an index in batches. Usage:
@@ -78,6 +90,9 @@ func (x *Index) NewScanner(tr *vclock.Tracker, spec ScanSpec) *Scanner {
 		}
 	}
 	s := &Scanner{x: x, tr: tr, spec: spec, cols: spec.Cols}
+	if spec.Partition != nil {
+		s.gi = spec.Partition.GroupLo
+	}
 
 	// The anti-semi join against the delete buffer needs the logical key
 	// columns; decode them too if they are not already requested.
@@ -148,7 +163,8 @@ func (s *Scanner) Next() bool {
 	for {
 		if !s.deltaPhase {
 			if !s.nextCompressed() {
-				if s.spec.SkipDelta || s.x.delta.Count() == 0 {
+				if s.spec.SkipDelta || s.x.delta.Count() == 0 ||
+					(s.spec.Partition != nil && !s.spec.Partition.Delta) {
 					return false
 				}
 				s.deltaPhase = true
@@ -173,8 +189,12 @@ func (s *Scanner) Next() bool {
 // nextCompressed fills the batch from the current rowgroup, advancing
 // groups as needed. Returns false when compressed groups are exhausted.
 func (s *Scanner) nextCompressed() bool {
+	hi := len(s.x.groups)
+	if s.spec.Partition != nil && s.spec.Partition.GroupHi < hi {
+		hi = s.spec.Partition.GroupHi
+	}
 	for s.curGroup == nil {
-		if s.gi >= len(s.x.groups) {
+		if s.gi >= hi {
 			return false
 		}
 		g := s.x.groups[s.gi]

@@ -4,11 +4,130 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
+	"hybriddb/internal/metrics"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
 )
+
+// TestSerialParallelEquivalence checks the morsel-driven executor's
+// contract: the same query at any real worker count must return
+// identical rows AND an identical virtual-clock Metrics snapshot.
+// Workers change wall-clock time only; every charge, byte, and memory
+// peak is simulated identically. The table mixes compressed rowgroups,
+// a populated delta store, and deleted rows so all three scan phases
+// cross the exchange.
+func TestSerialParallelEquivalence(t *testing.T) {
+	db := New(vclock.DefaultModel(vclock.DRAM), 0)
+	db.DefaultRowGroupSize = 1024
+	mustExec(t, db, "CREATE TABLE p (a BIGINT, b BIGINT, c DOUBLE, d VARCHAR(8))")
+	rng := rand.New(rand.NewSource(7))
+	rows := make([]value.Row, 30000)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(40)),
+			value.NewFloat(float64(rng.Intn(1000)) / 4),
+			value.NewString(fmt.Sprintf("v%02d", rng.Intn(25))),
+		}
+	}
+	db.Table("p").BulkLoad(nil, rows)
+	mustExec(t, db, "CREATE CLUSTERED COLUMNSTORE INDEX cci ON p (a)")
+	// Delta-store rows: the trickle-inserted tail becomes its own morsel.
+	for i := 0; i < 64; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO p VALUES (%d, %d, %d.25, 'v%02d')",
+			40000+i, i%40, i%13, i%25))
+	}
+	// Deleted rows exercise the delete-bitmap (or buffered-delete
+	// fallback-to-serial) path.
+	mustExec(t, db, "DELETE FROM p WHERE a BETWEEN 500 AND 700")
+
+	queries := []string{
+		"SELECT count(*), sum(a), min(b), max(b) FROM p",
+		"SELECT count(*), sum(a) FROM p WHERE b < 11",
+		"SELECT b, count(*), sum(a) FROM p GROUP BY b",
+		"SELECT b, count(DISTINCT d) FROM p GROUP BY b",
+		"SELECT b, avg(a) FROM p WHERE d = 'v03' GROUP BY b",
+		"SELECT b, avg(c) FROM p GROUP BY b", // float AVG: serial fallback gate
+		"SELECT a, b FROM p WHERE b = 7 ORDER BY a",
+		"SELECT a, b, c FROM p WHERE a >= 25000 ORDER BY a, b",
+	}
+	canon := func(res *Result) string {
+		out := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			s := ""
+			for _, v := range r {
+				if v.Kind() == value.KindFloat {
+					s += fmt.Sprintf("|%.6f", v.Float())
+				} else {
+					s += "|" + v.String()
+				}
+			}
+			out[i] = s
+		}
+		sort.Strings(out)
+		return strings.Join(out, "\n")
+	}
+	m0 := metrics.Default().Value("hybriddb_exec_morsels_dispatched_total")
+	for _, q := range queries {
+		serial := mustExec(t, db, q, ExecOptions{Parallelism: 1})
+		for _, workers := range []int{2, 4, 8} {
+			par := mustExec(t, db, q, ExecOptions{Parallelism: workers})
+			if par.Metrics != serial.Metrics {
+				t.Errorf("%s: metrics diverge at %d workers\n serial:   %v\n parallel: %v",
+					q, workers, serial.Metrics, par.Metrics)
+			}
+			if got, want := canon(par), canon(serial); got != want {
+				t.Errorf("%s: rows diverge at %d workers", q, workers)
+			}
+			// ORDER BY output must match row-for-row, not just as a set.
+			if strings.Contains(q, "ORDER BY") {
+				for i := range serial.Rows {
+					for j := range serial.Rows[i] {
+						if value.Compare(serial.Rows[i][j], par.Rows[i][j]) != 0 {
+							t.Fatalf("%s: ordered row %d diverges at %d workers", q, i, workers)
+						}
+					}
+				}
+			}
+		}
+	}
+	if d := metrics.Default().Value("hybriddb_exec_morsels_dispatched_total") - m0; d <= 0 {
+		t.Fatalf("morsels dispatched delta = %v; the parallel path was never exercised", d)
+	}
+
+	// EXPLAIN ANALYZE under parallel workers carries the exchange
+	// attributes and the same per-operator row counts as serial.
+	q := "SELECT b, count(*), sum(a) FROM p GROUP BY b"
+	serialTrace := mustExec(t, db, "EXPLAIN ANALYZE "+q, ExecOptions{Parallelism: 1})
+	parTrace := mustExec(t, db, "EXPLAIN ANALYZE "+q, ExecOptions{Parallelism: 4})
+	ss, ps := serialTrace.Trace.Find("Columnstore"), parTrace.Trace.Find("Columnstore")
+	if ss == nil || ps == nil {
+		t.Fatalf("missing scan trace nodes:\n%s\n%s", serialTrace.Trace, parTrace.Trace)
+	}
+	if ss.Rows != ps.Rows || ss.Batches != ps.Batches || ss.BytesRead != ps.BytesRead {
+		t.Errorf("scan trace diverges: serial rows=%d batches=%d read=%d, parallel rows=%d batches=%d read=%d",
+			ss.Rows, ss.Batches, ss.BytesRead, ps.Rows, ps.Batches, ps.BytesRead)
+	}
+	if v, ok := ps.Attr("parallel_workers"); !ok || v != 4 {
+		t.Errorf("parallel_workers attr = %d (present=%v), want 4", v, ok)
+	}
+	if v, ok := ps.Attr("morsels"); !ok || v <= 1 {
+		t.Errorf("morsels attr = %d (present=%v), want > 1", v, ok)
+	}
+	var workerGroups int64
+	for _, a := range ps.Attrs {
+		if strings.HasPrefix(a.Key, "worker") && strings.HasSuffix(a.Key, "_rowgroups") {
+			workerGroups += a.Val
+		}
+	}
+	wantGroups, _ := ss.Attr("rowgroups_scanned")
+	if workerGroups != wantGroups {
+		t.Errorf("per-worker rowgroup counts sum to %d, want %d", workerGroups, wantGroups)
+	}
+}
 
 // TestCrossDesignEquivalence is the repo's core correctness property:
 // for randomly generated tables, queries, and DML, every physical

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,11 @@ type Database struct {
 	// DefaultRowGroupSize applies to columnstores created via SQL DDL
 	// (0 = colstore default).
 	DefaultRowGroupSize int
+	// DefaultParallelism is the worker budget for statements that do not
+	// set ExecOptions.Parallelism: 0 picks automatically (GOMAXPROCS
+	// when the buffer pool is unbounded, serial otherwise), 1 forces
+	// serial, N caps the pool at N workers.
+	DefaultParallelism int
 
 	// mu serializes catalog/data mutation against reads: SELECT and
 	// EXPLAIN take the shared side, everything else the exclusive side.
@@ -159,6 +165,34 @@ type ExecOptions struct {
 	// NoElimination and NoBatchMode are ablation switches.
 	NoElimination bool
 	NoBatchMode   bool
+	// Parallelism is the real worker-goroutine budget for morsel-driven
+	// parallel operators: 0 defers to Database.DefaultParallelism (and
+	// its automatic choice), 1 forces serial execution, N allows up to N
+	// workers. It does not affect the plan's (virtual) DOP or any
+	// reported Metrics — only wall-clock time.
+	Parallelism int
+}
+
+// workers resolves the real worker budget for one statement. Automatic
+// selection uses every core, but only when the buffer pool is
+// unbounded: under a bounded LRU pool, concurrent workers would evict
+// pages in an interleaving-dependent order and the virtual I/O
+// accounting would stop being deterministic.
+func (db *Database) workers(o ExecOptions) int {
+	n := o.Parallelism
+	if n == 0 {
+		n = db.DefaultParallelism
+	}
+	if n == 0 {
+		if db.store.Capacity() != 0 {
+			return 1
+		}
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 func (db *Database) optOptions(o ExecOptions) optimizer.Options {
@@ -311,7 +345,7 @@ func (db *Database) execExplain(s *sql.ExplainStmt, o ExecOptions) (*Result, err
 	}
 	tr := vclock.NewTracker(db.model)
 	trace := &metrics.TraceNode{} // synthetic root; children are the operators
-	res, err := exec.RunTraced(tr, root, bound.TotalSlots, trace)
+	res, err := exec.RunWith(tr, root, bound.TotalSlots, exec.RunOptions{Trace: trace, Workers: db.workers(o)})
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +399,7 @@ func (db *Database) execSelect(s *sql.SelectStmt, o ExecOptions) (*Result, error
 		return nil, err
 	}
 	tr := vclock.NewTracker(db.model)
-	res, err := exec.Run(tr, root, bound.TotalSlots)
+	res, err := exec.RunWith(tr, root, bound.TotalSlots, exec.RunOptions{Workers: db.workers(o)})
 	if err != nil {
 		return nil, err
 	}

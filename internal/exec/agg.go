@@ -21,6 +21,11 @@ func buildAgg(ctx *Context, a *plan.Agg) (Cursor, error) {
 	// batch source when the input is a batch-capable scan.
 	if a.BatchMode {
 		if scan, ok := a.Input.(*plan.Scan); ok && scan.Access == plan.AccessCSIScan {
+			if cur, ok, err := newParallelBatchAgg(ctx, a, scan); err != nil {
+				return nil, err
+			} else if ok {
+				return cur, nil
+			}
 			return newBatchHashAgg(ctx, a, scan)
 		}
 	}
@@ -277,7 +282,7 @@ type batchHashAgg struct {
 }
 
 func newBatchHashAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (*batchHashAgg, error) {
-	src, err := newCSIBatchSource(ctx, scan)
+	src, err := newCSIBatchSource(ctx, scan, nil)
 	if err != nil {
 		return nil, err
 	}

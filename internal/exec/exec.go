@@ -23,8 +23,16 @@ type Context struct {
 	Grant int64
 	// TotalSlots is the width of composite rows (sum of FROM schemas).
 	TotalSlots int
-	// DOP is the plan's degree of parallelism.
+	// DOP is the plan's degree of parallelism. It parameterizes the
+	// virtual-clock simulation (ChargeParallelCPU divides by it) and is
+	// deliberately independent of Workers below, so that varying the
+	// real worker count never changes the reported virtual metrics.
 	DOP int
+	// Workers is the number of real goroutines morsel-driven operators
+	// may use. <= 1 means serial execution. Parallel operators charge
+	// the exact same virtual-clock work as their serial counterparts;
+	// Workers only changes wall-clock time.
+	Workers int
 	// Trace, when non-nil, is the trace node Build attaches per-operator
 	// children to (EXPLAIN ANALYZE). Nil tracing adds zero overhead to
 	// the hot path.
@@ -49,15 +57,31 @@ type Result struct {
 	Metrics vclock.Metrics
 }
 
+// RunOptions tune one plan execution.
+type RunOptions struct {
+	// Trace, when non-nil, receives the per-operator trace tree
+	// (EXPLAIN ANALYZE).
+	Trace *metrics.TraceNode
+	// Workers is the real goroutine budget for morsel-driven parallel
+	// operators; <= 1 executes the plan serially.
+	Workers int
+}
+
 // Run executes a plan to completion.
 func Run(tr *vclock.Tracker, root *plan.Root, totalSlots int) (*Result, error) {
-	return RunTraced(tr, root, totalSlots, nil)
+	return RunWith(tr, root, totalSlots, RunOptions{})
 }
 
 // RunTraced executes a plan to completion, attaching a per-operator
 // trace tree under tn when it is non-nil (EXPLAIN ANALYZE).
 func RunTraced(tr *vclock.Tracker, root *plan.Root, totalSlots int, tn *metrics.TraceNode) (*Result, error) {
-	ctx := &Context{Tr: tr, Grant: root.MemGrant, TotalSlots: totalSlots, DOP: root.DOP, Trace: tn}
+	return RunWith(tr, root, totalSlots, RunOptions{Trace: tn})
+}
+
+// RunWith executes a plan to completion with explicit options.
+func RunWith(tr *vclock.Tracker, root *plan.Root, totalSlots int, opts RunOptions) (*Result, error) {
+	ctx := &Context{Tr: tr, Grant: root.MemGrant, TotalSlots: totalSlots,
+		DOP: root.DOP, Workers: opts.Workers, Trace: opts.Trace}
 	tr.SetDOP(root.DOP)
 	cur, err := Build(ctx, root.Input)
 	if err != nil {

@@ -1,0 +1,372 @@
+// Morsel-driven parallel execution. Columnstore scans are split into
+// rowgroup morsels (plus one delta-store morsel) pulled by a pool of
+// worker goroutines from an atomic dispatch counter — the work-stealing
+// scheme of Leis et al.'s "Morsel-Driven Parallelism" (SIGMOD 2014),
+// which is also how SQL Server parallelizes the columnstore scans the
+// paper's DOP experiments measure.
+//
+// Parallel operators are bit-compatible with their serial counterparts
+// in both results and virtual-clock metrics:
+//
+//   - Morsels are whole rowgroups, so the batch boundaries — and
+//     therefore the multiset of per-batch vclock charges — are
+//     identical to a serial scan. Charges land on per-worker Tracker
+//     forks and are summed back into the query tracker at the gather
+//     point; duration sums are int64 additions, so worker interleaving
+//     cannot change them.
+//   - Output slots are indexed by morsel, and the delta morsel is
+//     ordered last, so gathered rows appear in exactly the serial scan
+//     order.
+//   - Partial aggregates merge with order-insensitive operations only
+//     (integer sums, min/max, count, distinct-set union); plans where a
+//     merge would be order-sensitive (float SUM/AVG) or multiset-
+//     dependent (DISTINCT under anything but COUNT/MIN/MAX) stay
+//     serial, as do scans of indexes with a pending delete buffer
+//     (a destructive anti-semi multiset that cannot be partitioned).
+//   - The gather merge itself is uncharged: the virtual cost of
+//     exchanges is already part of the DOP simulation
+//     (ParallelStartup + ChargeParallelCPU's exchange overhead).
+//
+// The plan's DOP stays a virtual-clock parameter; Context.Workers
+// controls real goroutines. Varying Workers changes wall-clock time
+// only, never the reported Metrics.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hybriddb/internal/colstore"
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// Process-wide parallel-execution counters.
+var (
+	mMorselsDispatched = metrics.NewCounter("hybriddb_exec_morsels_dispatched_total", "scan morsels dispatched to parallel workers")
+	mParallelWorkers   = metrics.NewCounter("hybriddb_exec_parallel_workers_total", "worker goroutines launched for morsel-driven operators")
+)
+
+// csiMorsels splits an index scan into morsels: one per compressed
+// rowgroup, plus one for the delta store (kept last so gathered output
+// preserves the serial scan order).
+func csiMorsels(idx *colstore.Index) []colstore.ScanPartition {
+	n := idx.Groups()
+	ms := make([]colstore.ScanPartition, 0, n+1)
+	for g := 0; g < n; g++ {
+		ms = append(ms, colstore.ScanPartition{GroupLo: g, GroupHi: g + 1})
+	}
+	if idx.DeltaRows() > 0 {
+		ms = append(ms, colstore.ScanPartition{GroupLo: n, GroupHi: n, Delta: true})
+	}
+	return ms
+}
+
+// parallelizableScan reports whether a CSI scan may run morsel-driven
+// under the current context, returning the index and morsel list.
+func parallelizableScan(ctx *Context, parallel bool, s *plan.Scan) (*colstore.Index, []colstore.ScanPartition, bool) {
+	if !parallel || ctx.Workers <= 1 || ctx.Grant != 0 {
+		return nil, nil, false
+	}
+	idx, err := resolveCSI(s)
+	if err != nil || !idx.Partitionable() {
+		return nil, nil, false
+	}
+	morsels := csiMorsels(idx)
+	if len(morsels) < 2 {
+		return nil, nil, false
+	}
+	return idx, morsels, true
+}
+
+// runWorkers executes body over nMorsels morsels with w goroutines
+// pulling morsel indexes from a shared atomic counter. Each worker gets
+// a Context with its own Tracker fork; all forks are merged back into
+// ctx.Tr (in worker order, though duration sums make the order
+// irrelevant) before runWorkers returns.
+func runWorkers(ctx *Context, w, nMorsels int, body func(wi, mi int, wctx *Context) error) error {
+	forks := make([]*vclock.Tracker, w)
+	errs := make([]error, w)
+	var next int32
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		fork := ctx.Tr.Fork()
+		forks[wi] = fork
+		wctx := &Context{Tr: fork, TotalSlots: ctx.TotalSlots, DOP: ctx.DOP, Workers: 1}
+		wg.Add(1)
+		go func(wi int, wctx *Context) {
+			defer wg.Done()
+			for {
+				mi := int(atomic.AddInt32(&next, 1)) - 1
+				if mi >= nMorsels {
+					return
+				}
+				if err := body(wi, mi, wctx); err != nil {
+					errs[wi] = err
+					return
+				}
+			}
+		}(wi, wctx)
+	}
+	wg.Wait()
+	for _, f := range forks {
+		ctx.Tr.Merge(f)
+	}
+	mParallelWorkers.Add(int64(w))
+	mMorselsDispatched.Add(int64(nMorsels))
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// annotate records the parallel-execution attributes on a scan's trace
+// node: merged per-morsel stats plus worker fan-out.
+func annotate(tn *metrics.TraceNode, morselTNs []*metrics.TraceNode, w int, workerGroups []int64) {
+	if tn == nil {
+		return
+	}
+	for _, mt := range morselTNs {
+		tn.Absorb(mt)
+	}
+	tn.SetAttr("parallel_workers", int64(w))
+	tn.SetAttr("morsels", int64(len(morselTNs)))
+	for wi, g := range workerGroups {
+		tn.SetAttr(fmt.Sprintf("worker%d_rowgroups", wi), g)
+	}
+}
+
+// gatherScanCursor replays the gathered output of a parallel scan.
+type gatherScanCursor struct {
+	rows []value.Row
+	uids []int64
+	pos  int
+	uid  int64
+}
+
+func (c *gatherScanCursor) UID() int64 { return c.uid }
+
+func (c *gatherScanCursor) Next() (value.Row, bool) {
+	if c.pos >= len(c.rows) {
+		return nil, false
+	}
+	c.uid = c.uids[c.pos]
+	r := c.rows[c.pos]
+	c.pos++
+	return r, true
+}
+
+// newParallelCSIScan runs a Parallel-marked CSI scan morsel-driven,
+// gathering composite rows in morsel order (identical to serial row
+// order). Returns ok=false when the scan must stay serial.
+func newParallelCSIScan(ctx *Context, s *plan.Scan) (Cursor, bool, error) {
+	_, morsels, ok := parallelizableScan(ctx, s.Parallel, s)
+	if !ok {
+		return nil, false, nil
+	}
+	w := ctx.Workers
+	if w > len(morsels) {
+		w = len(morsels)
+	}
+	outs := make([][]value.Row, len(morsels))
+	uidOuts := make([][]int64, len(morsels))
+	workerGroups := make([]int64, w)
+	var morselTNs []*metrics.TraceNode
+	if ctx.Trace != nil {
+		morselTNs = make([]*metrics.TraceNode, len(morsels))
+	}
+	err := runWorkers(ctx, w, len(morsels), func(wi, mi int, wctx *Context) error {
+		src, err := newCSIBatchSource(wctx, s, &morsels[mi])
+		if err != nil {
+			return err
+		}
+		if morselTNs != nil {
+			// Batch counts and rowgroup stats per morsel; rows, bytes, and
+			// time stay with the wrapping traceCursor, as in the serial
+			// csiCursor path.
+			morselTNs[mi] = &metrics.TraceNode{}
+			src.tn = morselTNs[mi]
+		}
+		outs[mi], uidOuts[mi] = drainScanRows(wctx, s, src)
+		workerGroups[wi] += int64(src.sc.GroupsScanned)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	annotate(ctx.Trace, morselTNs, w, workerGroups)
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	cur := &gatherScanCursor{rows: make([]value.Row, 0, total), uids: make([]int64, 0, total)}
+	for mi := range outs {
+		cur.rows = append(cur.rows, outs[mi]...)
+		cur.uids = append(cur.uids, uidOuts[mi]...)
+	}
+	return cur, true, nil
+}
+
+// drainScanRows converts a batch source to composite rows, charging the
+// same batch-to-row adapter cost as the serial csiCursor.
+func drainScanRows(ctx *Context, s *plan.Scan, src *csiBatchSource) ([]value.Row, []int64) {
+	m := ctx.Tr.Model
+	schemaLen := s.Table.Schema.Len()
+	var rows []value.Row
+	var uids []int64
+	for {
+		b, ok := src.next()
+		if !ok {
+			return rows, uids
+		}
+		n := b.Len()
+		ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), m.RowCPU/4), 1.0)
+		for i := 0; i < n; i++ {
+			p := b.LiveIndex(i)
+			out := make(value.Row, ctx.TotalSlots)
+			for vi, ord := range src.cols {
+				if ord < schemaLen {
+					out[s.SlotBase+ord] = b.Cols[vi].Value(p)
+				}
+			}
+			rows = append(rows, out)
+			uids = append(uids, b.Cols[src.uidIdx].I[p])
+		}
+	}
+}
+
+// parallelizableAggSpecs reports whether every aggregate in the plan
+// merges exactly across partials. Float SUM/AVG are excluded (float
+// addition is not associative, so a partial-merge order could diverge
+// from the serial fold order), as is DISTINCT under anything but
+// COUNT/MIN/MAX (COUNT recounts the merged distinct set; MIN/MAX are
+// unaffected by duplicates; SUM/AVG DISTINCT would double-add values
+// seen by several workers).
+func parallelizableAggSpecs(a *plan.Agg) bool {
+	for i := range a.Specs {
+		sp := &a.Specs[i]
+		if sp.Distinct && sp.Func != plan.AggCount && sp.Func != plan.AggMin && sp.Func != plan.AggMax {
+			return false
+		}
+		if (sp.Func == plan.AggSum || sp.Func == plan.AggAvg) && sp.Arg != nil && sql.ExprKind(sp.Arg) == value.KindFloat {
+			return false
+		}
+	}
+	return true
+}
+
+// newParallelBatchAgg runs a Parallel-marked batch hash aggregation
+// with per-worker partial hash tables over scan morsels, merged
+// deterministically at the gather point. Returns ok=false when the
+// plan must stay serial.
+func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bool, error) {
+	if !a.Parallel || !parallelizableAggSpecs(a) {
+		return nil, false, nil
+	}
+	_, morsels, ok := parallelizableScan(ctx, scan.Parallel, scan)
+	if !ok {
+		return nil, false, nil
+	}
+	w := ctx.Workers
+	if w > len(morsels) {
+		w = len(morsels)
+	}
+	var stn *metrics.TraceNode
+	var morselTNs []*metrics.TraceNode
+	if ctx.Trace != nil {
+		// The scan never becomes a cursor (per-worker sources feed the
+		// partial aggregates directly), so it gets its own trace node,
+		// assembled from per-morsel nodes that own their rows, bytes,
+		// and time — as in the serial batch-agg path.
+		stn = ctx.Trace.Child(scan.Describe())
+		stn.Loops = 1
+		morselTNs = make([]*metrics.TraceNode, len(morsels))
+	}
+	wcores := make([]*aggCore, w)
+	scratches := make([]value.Row, w)
+	workerGroups := make([]int64, w)
+	schemaLen := scan.Table.Schema.Len()
+	err := runWorkers(ctx, w, len(morsels), func(wi, mi int, wctx *Context) error {
+		if wcores[wi] == nil {
+			wcores[wi] = newAggCore(wctx, a)
+			scratches[wi] = make(value.Row, wctx.TotalSlots)
+		}
+		src, err := newCSIBatchSource(wctx, scan, &morsels[mi])
+		if err != nil {
+			return err
+		}
+		if morselTNs != nil {
+			morselTNs[mi] = &metrics.TraceNode{}
+			src.tn = morselTNs[mi]
+			src.timed = true
+		}
+		core, scratch := wcores[wi], scratches[wi]
+		m := wctx.Tr.Model
+		for {
+			b, ok := src.next()
+			if !ok {
+				break
+			}
+			n := b.Len()
+			wctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), (m.BatchCPU*2)+m.BatchCPU), 1.0)
+			for i := 0; i < n; i++ {
+				p := b.LiveIndex(i)
+				for vi, ord := range src.cols {
+					if ord < schemaLen {
+						scratch[scan.SlotBase+ord] = b.Cols[vi].Value(p)
+					}
+				}
+				core.add(scratch)
+			}
+		}
+		workerGroups[wi] += int64(src.sc.GroupsScanned)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	annotate(stn, morselTNs, w, workerGroups)
+
+	// Gather: merge the partial hash tables into one. All merge
+	// operations are order-insensitive (see parallelizableAggSpecs), so
+	// the nondeterministic morsel-to-worker assignment cannot change the
+	// merged states.
+	main := newAggCore(ctx, a)
+	for _, wc := range wcores {
+		if wc == nil {
+			continue
+		}
+		for k, g := range wc.groups {
+			if mg, ok := main.groups[k]; ok {
+				for i := range a.Specs {
+					mg.states[i].merge(&g.states[i], &a.Specs[i])
+				}
+			} else {
+				main.groups[k] = g
+			}
+		}
+	}
+	for _, g := range main.groups {
+		for i := range a.Specs {
+			sp := &a.Specs[i]
+			// merge sums counts, which over-counts distinct values seen by
+			// several workers; COUNT(DISTINCT) is the merged set's size.
+			if sp.Distinct && sp.Func == plan.AggCount {
+				g.states[i].count = int64(len(g.states[i].distinct))
+			}
+		}
+		// Re-allocate each merged group on the query tracker so MemPeak
+		// matches the serial build exactly (worker-fork peaks, merged by
+		// max, are subsets of this total).
+		gw := int64(g.keys.Width() + groupOverhead + 48*len(a.Specs))
+		ctx.Tr.Alloc(gw)
+		main.bytes += gw
+	}
+	return &batchHashAgg{rows: main.finish()}, true, nil
+}

@@ -220,8 +220,13 @@ type csiCursor struct {
 	uid  int64
 }
 
-func newCSICursor(ctx *Context, s *plan.Scan) (*csiCursor, error) {
-	src, err := newCSIBatchSource(ctx, s)
+func newCSICursor(ctx *Context, s *plan.Scan) (Cursor, error) {
+	if cur, ok, err := newParallelCSIScan(ctx, s); err != nil {
+		return nil, err
+	} else if ok {
+		return cur, nil
+	}
+	src, err := newCSIBatchSource(ctx, s, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,13 @@ type csiBatchSource struct {
 	uidIdx  int
 	scratch value.Row
 
+	// selBuf holds two reusable selection buffers. Conjunct evaluation
+	// ping-pongs between them: conjunct N+1 reads the batch's current
+	// selection (written by conjunct N) while building the narrowed one,
+	// so a single buffer would be read and overwritten at once.
+	selBuf [2][]int
+	selIdx int
+
 	// tn, when non-nil, receives batch counts and rowgroup-elimination
 	// stats. When timed is set the source also owns the node's rows,
 	// bytes, and time (batch-mode parents consume the source directly,
@@ -34,14 +41,24 @@ type csiBatchSource struct {
 	timed bool
 }
 
-func newCSIBatchSource(ctx *Context, s *plan.Scan) (*csiBatchSource, error) {
-	var idx *colstore.Index
+// resolveCSI returns the columnstore index a CSI scan reads.
+func resolveCSI(s *plan.Scan) (*colstore.Index, error) {
 	if s.Index != nil && s.Index.CSI != nil {
-		idx = s.Index.CSI
-	} else if s.Table.CCI() != nil {
-		idx = s.Table.CCI()
-	} else {
-		return nil, fmt.Errorf("exec: %s has no columnstore", s.Table.Name)
+		return s.Index.CSI, nil
+	}
+	if s.Table.CCI() != nil {
+		return s.Table.CCI(), nil
+	}
+	return nil, fmt.Errorf("exec: %s has no columnstore", s.Table.Name)
+}
+
+// newCSIBatchSource builds the batch pipeline leaf for a CSI scan.
+// part, when non-nil, restricts the scan to one morsel of a parallel
+// execution.
+func newCSIBatchSource(ctx *Context, s *plan.Scan, part *colstore.ScanPartition) (*csiBatchSource, error) {
+	idx, err := resolveCSI(s)
+	if err != nil {
+		return nil, err
 	}
 	need := s.NeedCols
 	if need == nil {
@@ -62,7 +79,7 @@ func newCSIBatchSource(ctx *Context, s *plan.Scan) (*csiBatchSource, error) {
 		uidIdx = len(cols)
 		cols = append(cols, uidCol)
 	}
-	spec := colstore.ScanSpec{Cols: cols, PruneCol: -1}
+	spec := colstore.ScanSpec{Cols: cols, PruneCol: -1, Partition: part}
 	if s.SeekCol >= 0 && (!s.Lo.Unbounded || !s.Hi.Unbounded) {
 		spec.PruneCol = s.SeekCol
 		if !s.Lo.Unbounded {
@@ -140,12 +157,30 @@ func (s *csiBatchSource) observe(rows int, b0 int64, t0 time.Duration) {
 	}
 }
 
+// nextSel returns the other scratch selection buffer, emptied and with
+// capacity for n entries. The caller may read b.Sel (the previously
+// returned buffer) while appending to this one.
+func (s *csiBatchSource) nextSel(n int) []int {
+	s.selIdx ^= 1
+	if cap(s.selBuf[s.selIdx]) < n {
+		s.selBuf[s.selIdx] = make([]int, 0, vec.BatchSize)
+	}
+	return s.selBuf[s.selIdx][:0]
+}
+
 // applyFast handles ColRef-op-Lit conjuncts on integer-representable
 // vectors without materializing values. Returns false if the conjunct
-// does not match the fast-path shape.
+// does not match the fast-path shape. All shape checks (including the
+// operator) happen before any selection buffer is touched, so a false
+// return leaves the batch untouched for applyGeneric.
 func (s *csiBatchSource) applyFast(b *vec.Batch, cond sql.Expr) bool {
 	bin, ok := cond.(*sql.BinOp)
 	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
 		return false
 	}
 	col, ok := bin.L.(*sql.ColRef)
@@ -170,8 +205,8 @@ func (s *csiBatchSource) applyFast(b *vec.Batch, cond sql.Expr) bool {
 	}
 	v := b.Cols[vi]
 	cmp := lit.Val.Int()
-	sel := make([]int, 0, b.Len())
 	n := b.Len()
+	sel := s.nextSel(n)
 	for i := 0; i < n; i++ {
 		p := b.LiveIndex(i)
 		if v.IsNull(p) {
@@ -192,8 +227,6 @@ func (s *csiBatchSource) applyFast(b *vec.Batch, cond sql.Expr) bool {
 			keep = x > cmp
 		case ">=":
 			keep = x >= cmp
-		default:
-			return false
 		}
 		if keep {
 			sel = append(sel, p)
@@ -206,7 +239,7 @@ func (s *csiBatchSource) applyFast(b *vec.Batch, cond sql.Expr) bool {
 // applyGeneric evaluates an arbitrary conjunct by materializing the
 // table's columns into a scratch composite row per live position.
 func (s *csiBatchSource) applyGeneric(b *vec.Batch, cond sql.Expr) {
-	sel := make([]int, 0, b.Len())
+	sel := s.nextSel(b.Len())
 	n := b.Len()
 	for i := 0; i < n; i++ {
 		p := b.LiveIndex(i)

@@ -59,6 +59,37 @@ func (n *TraceNode) Attr(key string) (int64, bool) {
 	return 0, false
 }
 
+// AddAttr adds val to an annotation, creating it at val if absent. Used
+// when per-worker trace nodes are folded into one plan-operator node.
+func (n *TraceNode) AddAttr(key string, val int64) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Key == key {
+			n.Attrs[i].Val += val
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, TraceAttr{Key: key, Val: val})
+}
+
+// Absorb folds another node's measurements into n: counters and time
+// are summed, attrs are summed key-wise, children are appended. The
+// gather operator uses this to merge per-worker trace nodes into the
+// single node EXPLAIN ANALYZE shows for the plan operator.
+func (n *TraceNode) Absorb(o *TraceNode) {
+	if o == nil {
+		return
+	}
+	n.Rows += o.Rows
+	n.Batches += o.Batches
+	n.Loops += o.Loops
+	n.BytesRead += o.BytesRead
+	n.Time += o.Time
+	for _, a := range o.Attrs {
+		n.AddAttr(a.Key, a.Val)
+	}
+	n.Children = append(n.Children, o.Children...)
+}
+
 // Find returns the first node in the subtree (pre-order, including n)
 // whose name contains substr, or nil.
 func (n *TraceNode) Find(substr string) *TraceNode {

@@ -204,11 +204,52 @@ func Optimize(res Resolver, b *sql.BoundSelect, opts Options) (*plan.Root, error
 	if cpuWork > opts.Model.ParallelCostThreshold {
 		root.DOP = opts.Model.MaxDOP
 	}
+	markParallel(root)
 	for _, it := range b.Items {
 		root.Columns = append(root.Columns, it.Alias)
 	}
 	mPlans.Inc()
 	return root, nil
+}
+
+// markParallel annotates which operators the executor may run with real
+// morsel-driven workers when the plan went parallel (DOP > 1). The
+// annotation is conservative: every eligible operator must be drained
+// to completion in a serial run too, or the virtual clock would diverge
+// between serial and parallel execution. Top (early termination) and
+// non-hash joins (merge join stops at the shorter input; NLJ restarts
+// its inner side per outer row) break that full-drain property, so any
+// plan containing them stays serial.
+func markParallel(root *plan.Root) {
+	if root.DOP <= 1 {
+		return
+	}
+	eligible := true
+	plan.Walk(root.Input, func(n plan.Node) {
+		switch j := n.(type) {
+		case *plan.Top:
+			eligible = false
+		case *plan.Join:
+			if j.Strategy != plan.JoinHash {
+				eligible = false
+			}
+		}
+	})
+	if !eligible {
+		return
+	}
+	plan.Walk(root.Input, func(n plan.Node) {
+		switch v := n.(type) {
+		case *plan.Scan:
+			if v.Access == plan.AccessCSIScan {
+				v.Parallel = true
+			}
+		case *plan.Agg:
+			if v.Strategy == plan.AggHash && v.BatchMode {
+				v.Parallel = true
+			}
+		}
+	})
 }
 
 // nodeCost returns a node's cumulative estimated cost.

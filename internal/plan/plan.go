@@ -86,6 +86,11 @@ type Scan struct {
 	// Covered reports whether the access path contains every needed
 	// column; an uncovered secondary seek must look up the base table.
 	Covered bool
+	// Parallel marks the scan as eligible for morsel-driven execution:
+	// the executor may split it into rowgroup morsels across a worker
+	// pool. Set by the optimizer when the plan goes parallel (DOP > 1)
+	// and the plan shape guarantees a full drain of the scan.
+	Parallel bool
 }
 
 // Children returns no inputs.
@@ -199,6 +204,9 @@ type Agg struct {
 	// EstGroups is the optimizer's estimate of the number of groups
 	// (drives the memory grant / spill decision).
 	EstGroups float64
+	// Parallel marks the aggregation for per-worker partial aggregation
+	// with a deterministic merge at the gather point.
+	Parallel bool
 }
 
 // Children returns the input.

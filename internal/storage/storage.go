@@ -68,6 +68,13 @@ func NewStore(poolBytes int64) *Store {
 	}
 }
 
+// Capacity returns the buffer-pool capacity in bytes (0 = unbounded).
+func (s *Store) Capacity() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity
+}
+
 // Allocate adds a new page and returns its ID. Newly allocated pages
 // are resident (they were just produced in memory).
 func (s *Store) Allocate(p Page) PageID {

@@ -292,6 +292,17 @@ func (t *Tracker) ExecTime() time.Duration {
 // CPUTime returns total virtual CPU work across all threads.
 func (t *Tracker) CPUTime() time.Duration { return t.CPU }
 
+// Fork returns a worker-local tracker for one morsel-driven parallel
+// worker. The fork inherits the model and the plan DOP (so per-batch
+// ChargeParallelCPU divides by the same effective DOP the serial path
+// would use) but marks the parallel startup as already charged: the
+// parent charged it once in SetDOP, and merging the forks back must not
+// add it again. Worker trackers are merged into the parent with Merge
+// at the gather point.
+func (t *Tracker) Fork() *Tracker {
+	return &Tracker{Model: t.Model, DOP: t.DOP, parallelSetup: true}
+}
+
 // Merge adds the usage recorded in other into t. Used when one logical
 // statement executes several internal plans (e.g. update = delete +
 // insert against multiple indexes).

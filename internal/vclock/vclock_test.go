@@ -181,3 +181,41 @@ func TestSnapshotOverheadConfigured(t *testing.T) {
 		t.Errorf("model defaults: %+v", m)
 	}
 }
+
+// TestForkMerge checks the contract the parallel executor depends on:
+// splitting charges across forked trackers and merging them back yields
+// the exact same snapshot as charging one tracker serially. Forks must
+// not re-charge parallel startup (SetDOP already did, once).
+func TestForkMerge(t *testing.T) {
+	m := DefaultModel(DRAM)
+	serial := NewTracker(m)
+	serial.SetDOP(8)
+	for i := 0; i < 6; i++ {
+		serial.ChargeParallelCPU(10*time.Millisecond, 1.0)
+		serial.ChargeSeqRead(1000)
+		serial.Alloc(64)
+	}
+
+	par := NewTracker(m)
+	par.SetDOP(8)
+	forks := []*Tracker{par.Fork(), par.Fork(), par.Fork()}
+	for i := 0; i < 6; i++ {
+		f := forks[i%len(forks)]
+		f.ChargeParallelCPU(10*time.Millisecond, 1.0)
+		f.ChargeSeqRead(1000)
+	}
+	for _, f := range forks {
+		if f.Model != par.Model || f.DOP != par.DOP {
+			t.Fatal("fork did not inherit model/DOP")
+		}
+		par.Merge(f)
+	}
+	for i := 0; i < 6; i++ {
+		par.Alloc(64)
+	}
+
+	sm, pm := serial.Snapshot(), par.Snapshot()
+	if sm != pm {
+		t.Errorf("fork/merge snapshot diverges:\n serial: %+v\n forked: %+v", sm, pm)
+	}
+}

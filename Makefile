@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench benchsmoke
+.PHONY: all build vet lint test race ci bench benchsmoke
 
 all: ci
 
@@ -10,18 +10,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint builds the project's invariant multichecker (see ANALYSIS.md)
+# and runs it over every package. It exits non-zero on any diagnostic
+# not suppressed by a `//lint:ignore <analyzer> <reason>` comment.
+lint:
+	$(GO) build -o bin/hybridlint ./cmd/hybridlint
+	./bin/hybridlint ./...
+
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with concurrent surfaces
-# (metrics registry, engine statement locking, lock manager, simulator).
+# Race-detector pass over every package: the internal packages with
+# concurrent surfaces (metrics registry, engine statement locking,
+# parallel executor) plus the root package, whose integration tests
+# and parallel benchmarks otherwise never run under -race. Benchmarks
+# stay in benchsmoke (they time out under the race detector).
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # ci is the tier-1 gate referenced from ROADMAP.md. benchsmoke runs the
 # parallel-executor benchmarks for one iteration so the morsel dispatch
 # and gather paths are exercised even when no test opts into them.
-ci: vet build test race benchsmoke
+ci: vet lint build test race benchsmoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

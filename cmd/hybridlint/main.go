@@ -1,0 +1,18 @@
+// Command hybridlint is the engine-invariant multichecker: it runs the
+// project-specific analyzers under internal/analysis over the packages
+// named on the command line (default ./...) and exits non-zero on any
+// unsuppressed diagnostic, go vet style. `make lint` wires it into the
+// tier-1 ci gate. See ANALYSIS.md for the analyzer catalog and the
+// //lint:ignore suppression syntax.
+package main
+
+import (
+	"os"
+
+	"hybriddb/internal/analysis"
+	"hybriddb/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Stdout, os.Stderr, suite.Analyzers(), os.Args[1:]))
+}

@@ -1,0 +1,153 @@
+// Package bufalias guards the batch executor's scratch-buffer
+// ownership discipline.
+//
+// Batch operators reuse selection and row buffers across NextBatch
+// calls (scan_batch.go's selBuf ping-pong, the scratch composite row):
+// the contract is that a batch's contents are valid only until the
+// producer's next call, and only on the producing goroutine. A scratch
+// buffer that escapes its owner — captured by a spawned goroutine,
+// sent over a channel, or returned from an exported function — will be
+// overwritten while someone else still reads it, silently corrupting
+// result rows (the nastiest possible failure for a paper whose claims
+// rest on measured result correctness).
+//
+// A "scratch field" is any slice-bearing struct field declared in the
+// analyzed package whose name contains "scratch" or "buf" (case
+// insensitive): selBuf, scratch, keyBuf all match. The analyzer flags,
+// anywhere in the package:
+//
+//   - a go statement whose call or closure references a scratch field;
+//   - a channel send whose value references a scratch field;
+//   - a return of a scratch field from an exported function or method
+//     (unexported helpers like nextSel hand the buffer to their own
+//     operator, which is the intended reuse).
+package bufalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hybriddb/internal/analysis"
+)
+
+// New returns a fresh bufalias analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "bufalias",
+		Doc:  "forbid reused scratch/selection buffers from escaping their owning operator",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exported := fn.Name.IsExported()
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if sel := scratchRef(pass, n); sel != nil {
+						pass.Reportf(n.Pos(), "scratch buffer %s escapes to a goroutine; it is overwritten by the owner's next batch", fieldName(pass, sel))
+					}
+					return false // reported once for the whole go statement
+				case *ast.SendStmt:
+					if sel := scratchRefExpr(pass, n.Value); sel != nil {
+						pass.Reportf(sel.Pos(), "scratch buffer %s sent over a channel; the receiver races the owner's reuse", fieldName(pass, sel))
+					}
+				case *ast.ReturnStmt:
+					if !exported {
+						return true
+					}
+					for _, res := range n.Results {
+						if sel := scratchRefExpr(pass, res); sel != nil {
+							pass.Reportf(sel.Pos(), "scratch buffer %s returned from exported %s; callers outlive the buffer's validity window", fieldName(pass, sel), fn.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// fieldName renders a flagged selector as owner.field for messages.
+func fieldName(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		if recv := s.Recv(); recv != nil {
+			t := recv
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				return n.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+	}
+	return sel.Sel.Name
+}
+
+// scratchRef finds a scratch-field selector anywhere under n.
+func scratchRef(pass *analysis.Pass, n ast.Node) *ast.SelectorExpr {
+	var found *ast.SelectorExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectorExpr); ok && isScratchField(pass, sel) {
+			found = sel
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// scratchRefExpr is scratchRef limited to one expression (nil-safe).
+func scratchRefExpr(pass *analysis.Pass, e ast.Expr) *ast.SelectorExpr {
+	if e == nil {
+		return nil
+	}
+	return scratchRef(pass, e)
+}
+
+// isScratchField reports whether sel selects a scratch buffer field:
+// a field declared in the analyzed package, slice-bearing, with a
+// scratch-ish name.
+func isScratchField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil || field.Pkg() != pass.Pkg {
+		return false
+	}
+	if !scratchName(field.Name()) {
+		return false
+	}
+	return carriesSlice(field.Type())
+}
+
+// scratchName matches the naming convention for reusable buffers.
+func scratchName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "scratch") || strings.Contains(l, "buf")
+}
+
+// carriesSlice reports whether t is, or contains (through arrays), a
+// slice: []int and [2][]int both qualify.
+func carriesSlice(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Array:
+		return carriesSlice(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package bufalias_test
+
+import (
+	"testing"
+
+	"hybriddb/internal/analysis/analysistest"
+	"hybriddb/internal/analysis/bufalias"
+)
+
+func TestBufAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), bufalias.New(), "./src/bufalias/...")
+}

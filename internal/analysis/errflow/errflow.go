@@ -1,0 +1,79 @@
+// Package errflow flags dropped errors from the storage, btree, and
+// colstore packages.
+//
+// Those three packages own the physical structures whose maintenance
+// the paper measures; a swallowed error there (a failed rowgroup
+// flush, a B+ tree split that didn't propagate, a buffer-pool
+// accounting miss) corrupts the physical design silently and every
+// later measurement with it. Call results must be consumed: a call
+// used as a bare statement — or discarded behind go/defer — is
+// flagged whenever the callee's results include an error. Assigning
+// to _ stays legal as the explicit, greppable opt-out, and
+// //lint:ignore works like everywhere else.
+//
+// Packages are matched by import-path element, so the fixture mirrors
+// under internal/analysis/testdata exercise the same predicate.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybriddb/internal/analysis"
+)
+
+// guarded lists the package path elements whose errors must flow.
+var guarded = map[string]bool{"storage": true, "btree": true, "colstore": true}
+
+// New returns a fresh errflow analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errflow",
+		Doc:  "flag dropped errors from storage, btree, and colstore calls",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !guarded[analysis.PkgElem(fn.Pkg().Path())] {
+				return true
+			}
+			if !returnsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s.%s is dropped; %s mutations must not fail silently", analysis.PkgElem(fn.Pkg().Path()), fn.Name(), analysis.PkgElem(fn.Pkg().Path()))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether fn's results include an error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"hybriddb/internal/analysis/analysistest"
+	"hybriddb/internal/analysis/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errflow.New(), "./src/errflow/...")
+}

@@ -1,0 +1,112 @@
+package analysis_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/analysis"
+)
+
+// dummy flags every package-level var declaration; the framework
+// fixture suppresses one and leaves one flagged.
+func dummy() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "framework-dummy",
+		Doc:  "test analyzer: flags var declarations",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+						pass.Reportf(gd.Pos(), "var declaration")
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+func TestSuppressionAndMalformed(t *testing.T) {
+	findings, suppressed, err := analysis.RunAnalyzers(testdata(t), []*analysis.Analyzer{dummy()}, []string{"./src/framework"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flaggedVar + malformedIgnoreAbove's var + the malformed lint
+	// comment itself are findings; suppressedVar is suppressed.
+	var msgs []string
+	for _, f := range findings {
+		msgs = append(msgs, f.Analyzer+": "+f.Message)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(findings), msgs)
+	}
+	malformed := 0
+	for _, f := range findings {
+		if f.Analyzer == "lint" && strings.Contains(f.Message, "malformed //lint:ignore") {
+			malformed++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed-ignore findings, want 1: %v", malformed, msgs)
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("got %d suppressed, want 1", len(suppressed))
+	}
+	if !strings.Contains(suppressed[0].Message, "var declaration") {
+		t.Errorf("suppressed finding = %q", suppressed[0].Message)
+	}
+}
+
+func TestMainExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	td := testdata(t)
+
+	if code := analysis.Main(&out, &errOut, []*analysis.Analyzer{dummy()}, []string{"-list"}); code != analysis.ExitClean {
+		t.Fatalf("-list exit = %d, want %d", code, analysis.ExitClean)
+	}
+	if !strings.Contains(out.String(), "framework-dummy") {
+		t.Fatalf("-list output missing analyzer: %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code := analysis.Main(&out, &errOut, []*analysis.Analyzer{dummy()}, []string{"-dir", td, "./src/framework"})
+	if code != analysis.ExitDiags {
+		t.Fatalf("diagnostics exit = %d, want %d\nstdout: %s\nstderr: %s", code, analysis.ExitDiags, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "framework-dummy: var declaration") {
+		t.Errorf("missing diagnostic line: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "1 suppressed") {
+		t.Errorf("missing suppression count: %q", errOut.String())
+	}
+
+	// A clean package (no findings, no malformed ignores) exits 0.
+	out.Reset()
+	errOut.Reset()
+	clean := &analysis.Analyzer{Name: "noop", Doc: "reports nothing", Run: func(*analysis.Pass) error { return nil }}
+	if code := analysis.Main(&out, &errOut, []*analysis.Analyzer{clean}, []string{"-dir", td, "./src/errflow/storage"}); code != analysis.ExitClean {
+		t.Fatalf("clean exit = %d, want %d\nstderr: %s", code, analysis.ExitClean, errOut.String())
+	}
+
+	// An unresolvable pattern is a load error, not a diagnostic.
+	out.Reset()
+	errOut.Reset()
+	if code := analysis.Main(&out, &errOut, []*analysis.Analyzer{clean}, []string{"-dir", td, "./src/definitely-missing"}); code != analysis.ExitError {
+		t.Fatalf("load-error exit = %d, want %d", code, analysis.ExitError)
+	}
+}

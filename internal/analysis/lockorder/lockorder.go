@@ -1,0 +1,398 @@
+// Package lockorder enforces the engine's lock hierarchy.
+//
+// The engine has a small, fixed set of mutexes with a required
+// acquisition order (outermost first):
+//
+//	rank 10  engine.Database.mu      (statement boundary lock)
+//	rank 20  engine.Database.slowMu  (slow-query log)
+//	rank 30  table.Table.statsMu     (per-table statistics)
+//	rank 40  storage.Store.mu        (buffer-pool accounting)
+//	rank 90  metrics.Registry.mu     (metric registration; leaf)
+//
+// Within one function body the analyzer flags (a) acquiring a
+// coarser-or-equal-rank lock while a finer one is held (lock-order
+// inversion, including RLock->Lock upgrades of the same mutex, which
+// self-deadlock under sync.RWMutex), and (b) blocking operations —
+// channel sends/receives/selects, time.Sleep, sync.WaitGroup.Wait,
+// sync.Cond.Wait, and os/net I/O calls — while the statement lock or
+// the metrics-registry lock is held. Those two locks sit on every
+// query's critical path: parking a goroutine under them serializes the
+// whole engine, which both breaks the paper's latency measurements and
+// (for the registry lock, taken inside metric registration) can
+// deadlock against /metrics rendering.
+//
+// The analysis is intra-procedural and branch-forks through if/else
+// and switch arms, so the engine's "RLock or Lock, then defer
+// unlock" dispatch pattern does not false-positive.
+//
+// Lock identity matches on (package path element, type name, field
+// name) so the fixture packages under internal/analysis/testdata,
+// which mirror the engine's shapes, exercise the same table.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hybriddb/internal/analysis"
+)
+
+// rankedLock names one mutex in the hierarchy.
+type rankedLock struct {
+	pkgElem string // last element of the owning package's import path
+	typ     string // named type owning the field
+	field   string // mutex field name
+	rank    int    // smaller = must be acquired first
+	desc    string
+	noBlock bool // no blocking operations may run while held
+}
+
+var hierarchy = []rankedLock{
+	{"engine", "Database", "mu", 10, "engine statement lock", true},
+	{"engine", "Database", "slowMu", 20, "slow-query log lock", false},
+	{"table", "Table", "statsMu", 30, "table statistics lock", false},
+	{"storage", "Store", "mu", 40, "buffer-pool lock", false},
+	{"metrics", "Registry", "mu", 90, "metrics registry lock", true},
+}
+
+// New returns a fresh lockorder analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockorder",
+		Doc:  "enforce the engine lock hierarchy and forbid blocking under the statement/registry locks",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.stmts(fn.Body.List, &[]held{})
+		}
+	}
+	return nil
+}
+
+// held is one lock the current path holds.
+type held struct {
+	lock rankedLock
+	pos  token.Pos
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement list linearly, mutating the held set.
+func (w *walker) stmts(list []ast.Stmt, h *[]held) {
+	for _, s := range list {
+		w.stmt(s, h)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, h *[]held) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, h)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, h)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, h)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, h)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, h)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end, which
+		// is exactly what the linear walk models by leaving it in h.
+		// Any other deferred call runs after the body; don't walk into
+		// it with the current held set.
+		if w.lockOf(s.Call, "Unlock", "RUnlock") == nil {
+			w.blockingExpr(s.Call, h)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently; its body starts
+		// with an empty held set.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(fl.Body.List, &[]held{})
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		w.expr(s.Cond, h)
+		then := append([]held(nil), *h...)
+		w.stmts(s.Body.List, &then)
+		els := append([]held(nil), *h...)
+		if s.Else != nil {
+			w.stmt(s.Else, &els)
+		}
+		*h = intersect(then, els)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				w.stmt(sw.Init, h)
+			}
+			if sw.Tag != nil {
+				w.expr(sw.Tag, h)
+			}
+			body = sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				w.stmt(ts.Init, h)
+			}
+			body = ts.Body
+		}
+		out := append([]held(nil), *h...)
+		first := true
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			branch := append([]held(nil), *h...)
+			w.stmts(cc.Body, &branch)
+			if first {
+				out, first = branch, false
+			} else {
+				out = intersect(out, branch)
+			}
+		}
+		if !first {
+			*h = out
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, h)
+		}
+		branch := append([]held(nil), *h...)
+		w.stmts(s.Body.List, &branch)
+	case *ast.RangeStmt:
+		if t, ok := w.pass.TypesInfo.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				w.blocking(s.X.Pos(), "range over channel", h)
+			}
+		}
+		branch := append([]held(nil), *h...)
+		w.stmts(s.Body.List, &branch)
+	case *ast.BlockStmt:
+		w.stmts(s.List, h)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, h)
+	case *ast.SendStmt:
+		w.blocking(s.Arrow, "channel send", h)
+		w.expr(s.Chan, h)
+		w.expr(s.Value, h)
+	case *ast.SelectStmt:
+		w.blocking(s.Select, "select", h)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := append([]held(nil), *h...)
+			w.stmts(cc.Body, &branch)
+		}
+	}
+}
+
+// expr scans an expression for lock transitions and blocking
+// operations (channel receives, blocking calls) in evaluation order.
+func (w *walker) expr(e ast.Expr, h *[]held) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A function literal's body executes when called, not here.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blocking(n.OpPos, "channel receive", h)
+			}
+		case *ast.CallExpr:
+			w.call(n, h)
+		}
+		return true
+	})
+}
+
+// call handles one call expression: Lock/Unlock transitions on ranked
+// mutexes, and known-blocking callees.
+func (w *walker) call(c *ast.CallExpr, h *[]held) {
+	if lk := w.lockOf(c, "Lock", "RLock"); lk != nil {
+		for _, held := range *h {
+			if held.lock.rank >= lk.rank {
+				if held.lock == *lk {
+					w.pass.Reportf(c.Pos(), "acquiring %s (%s.%s.%s) while already holding it: RWMutex upgrade/recursion self-deadlocks",
+						lk.desc, lk.pkgElem, lk.typ, lk.field)
+				} else {
+					w.pass.Reportf(c.Pos(), "lock order violation: acquiring %s (rank %d) while holding %s (rank %d); the hierarchy requires coarser locks first",
+						lk.desc, lk.rank, held.lock.desc, held.lock.rank)
+				}
+				return
+			}
+		}
+		*h = append(*h, held{lock: *lk, pos: c.Pos()})
+		return
+	}
+	if lk := w.lockOf(c, "Unlock", "RUnlock"); lk != nil {
+		for i := len(*h) - 1; i >= 0; i-- {
+			if (*h)[i].lock == *lk {
+				*h = append((*h)[:i], (*h)[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	w.blockingExpr(c, h)
+}
+
+// blockingExpr reports c if it is a known-blocking call.
+func (w *walker) blockingExpr(c *ast.CallExpr, h *[]held) {
+	fn := analysis.CalleeFunc(w.pass.TypesInfo, c)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	blocking := ""
+	switch {
+	case pkg == "time" && name == "Sleep":
+		blocking = "time.Sleep"
+	case pkg == "sync" && name == "Wait":
+		blocking = "sync." + recvTypeName(fn) + ".Wait"
+	case pkg == "os" && osIO[name]:
+		blocking = "os." + name
+	case pkg == "net" || pkg == "net/http":
+		blocking = pkg + "." + name
+	}
+	if blocking != "" {
+		w.blocking(c.Pos(), blocking, h)
+	}
+}
+
+// osIO lists the os package functions and os.File methods that hit the
+// filesystem. Process-state accessors (Getenv, Getpid, ...) stay
+// allowed under the no-block locks.
+var osIO = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "Stat": true,
+	"Lstat": true, "Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "Truncate": true,
+	// os.File methods
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Close": true, "Seek": true,
+}
+
+// blocking reports a blocking operation if a no-block lock is held.
+func (w *walker) blocking(pos token.Pos, what string, h *[]held) {
+	for _, held := range *h {
+		if held.lock.noBlock {
+			w.pass.Reportf(pos, "blocking operation (%s) while holding %s; this parks every statement behind the lock",
+				what, held.lock.desc)
+			return
+		}
+	}
+}
+
+// lockOf returns the ranked lock a call like db.mu.Lock() targets when
+// the method name is one of names and the receiver is a ranked mutex
+// field, else nil.
+func (w *walker) lockOf(c *ast.CallExpr, names ...string) *rankedLock {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return nil
+	}
+	// Receiver must be a sync.Mutex / sync.RWMutex method call.
+	fn, _ := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	// The mutex expression itself must be a field selector owner.field.
+	fsel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	ownerType := ownerNamed(w.pass.TypesInfo, fsel.X)
+	if ownerType == nil || ownerType.Obj().Pkg() == nil {
+		return nil
+	}
+	elem := analysis.PkgElem(ownerType.Obj().Pkg().Path())
+	for i := range hierarchy {
+		lk := &hierarchy[i]
+		if lk.pkgElem == elem && lk.typ == ownerType.Obj().Name() && lk.field == fsel.Sel.Name {
+			return lk
+		}
+	}
+	return nil
+}
+
+// ownerNamed resolves the named type of an expression, unwrapping
+// pointers.
+func ownerNamed(info *types.Info, e ast.Expr) *types.Named {
+	t, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	typ := t.Type
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	n, _ := typ.(*types.Named)
+	return n
+}
+
+// recvTypeName names a method's receiver type ("" for functions).
+func recvTypeName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	typ := sig.Recv().Type()
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	if n, ok := typ.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// intersect keeps the locks held on both paths, preserving a's order.
+func intersect(a, b []held) []held {
+	var out []held
+	for _, x := range a {
+		for _, y := range b {
+			if x.lock == y.lock {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hybriddb/internal/analysis/analysistest"
+	"hybriddb/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.New(), "./src/lockorder/...")
+}

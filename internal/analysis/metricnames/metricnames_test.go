@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"hybriddb/internal/analysis/analysistest"
+	"hybriddb/internal/analysis/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricnames.New(), "./src/metricnames/...")
+}

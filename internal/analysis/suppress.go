@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppressions indexes a package's //lint:ignore comments.
+//
+// A diagnostic from analyzer A at file F line L is suppressed when a
+// comment of the form
+//
+//	//lint:ignore A reason...
+//
+// (or //lint:ignore A,B reason... for several analyzers) appears on
+// line L or on line L-1 of F. The reason is mandatory: a lint:ignore
+// without one is itself reported, so every suppression in the tree
+// carries a written justification.
+type Suppressions struct {
+	// byLine maps file name -> line -> analyzer names ignored there.
+	byLine map[string]map[int][]string
+	// Malformed holds diagnostics for lint:ignore comments missing an
+	// analyzer name or a reason. They cannot be suppressed.
+	Malformed []Diagnostic
+}
+
+// BuildSuppressions scans a loaded package's comments.
+func BuildSuppressions(pkg *Package) *Suppressions {
+	s := &Suppressions{byLine: map[string]map[int][]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //lint:ignore comment: want `//lint:ignore <analyzer>[,<analyzer>] <reason>`",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byLine[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						lines[pos.Line] = append(lines[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by an ignore comment on the same or preceding line.
+func (s *Suppressions) Suppressed(analyzer string, pos token.Position) bool {
+	lines, ok := s.byLine[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+module hybriddb/lintfixtures
+
+go 1.24
+
+require hybriddb v0.0.0
+
+replace hybriddb => ../../..

@@ -1,0 +1,80 @@
+// Package exec mirrors the batch executor's scratch-buffer idiom for
+// the bufalias fixtures: an operator owning ping-pong selection
+// buffers (selBuf) and a scratch row, reused across nextBatch calls.
+package exec
+
+// batch mirrors vec.Batch: Sel is valid until the producer's next
+// call.
+type batch struct {
+	Sel []int
+}
+
+type source struct {
+	selBuf  [2][]int
+	selIdx  int
+	scratch []int
+	rows    []int // not a scratch buffer: name carries no buf/scratch
+}
+
+// nextSel is the production idiom: an unexported helper handing the
+// buffer to its own operator. Clean.
+func (s *source) nextSel(n int) []int {
+	s.selIdx ^= 1
+	if cap(s.selBuf[s.selIdx]) < n {
+		s.selBuf[s.selIdx] = make([]int, 0, n)
+	}
+	return s.selBuf[s.selIdx][:0]
+}
+
+// nextBatch reuses the scratch selection internally. Clean.
+func (s *source) nextBatch(b *batch) {
+	sel := s.nextSel(len(b.Sel))
+	for _, p := range b.Sel {
+		if p%2 == 0 {
+			sel = append(sel, p)
+		}
+	}
+	b.Sel = sel
+}
+
+// Selection hands the live scratch buffer to any caller, which will
+// observe it mutating on the next batch.
+func (s *source) Selection() []int {
+	return s.scratch // want `scratch buffer source.scratch returned from exported Selection`
+}
+
+// shipAsync moves filtering to a goroutine that races the owner's
+// reuse of the buffer.
+func (s *source) shipAsync(done chan struct{}) {
+	go func() { // want `scratch buffer source.selBuf escapes to a goroutine`
+		for range s.selBuf[0] {
+		}
+		close(done)
+	}()
+}
+
+// publish sends the scratch row to another goroutine over a channel.
+func (s *source) publish(out chan []int) {
+	out <- s.scratch // want `scratch buffer source.scratch sent over a channel`
+}
+
+// Rows returns a non-scratch field: exported escape is fine for
+// ordinary state.
+func (s *source) Rows() []int {
+	return s.rows
+}
+
+// copyOut snapshots the buffer before it escapes: the copy breaks the
+// alias, and the analyzer does not flag the copied value.
+func (s *source) CopyOut() []int {
+	out := make([]int, len(s.scratch))
+	copy(out, s.scratch)
+	return out
+}
+
+// suppressed hands out the buffer deliberately, with the reason
+// written down.
+func (s *source) Suppressed() []int {
+	//lint:ignore bufalias fixture: exercising the suppression syntax end to end
+	return s.scratch
+}

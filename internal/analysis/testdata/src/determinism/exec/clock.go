@@ -1,0 +1,26 @@
+package exec
+
+import (
+	"math/rand" // want `use of math/rand in exec: execution must be replayable`
+	"time"
+)
+
+// stamp reads the wall clock, which never replays.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock call time.Now in exec: virtual time must come from vclock`
+}
+
+// elapsed derives wall-clock durations.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock call time.Since in exec`
+}
+
+// duration-typed arithmetic without reading the clock is clean: the
+// engine's virtual times are time.Durations from vclock.
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+func shuffle(rows []Row) {
+	rand.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+}

@@ -1,0 +1,90 @@
+// Package exec mirrors hybriddb/internal/exec for the determinism
+// fixtures: the analyzer restricts its rules to the exec, colstore,
+// and optimizer package elements, where result rows, Result.Metrics,
+// and trace trees are produced.
+package exec
+
+import "sort"
+
+// Row mirrors a result row.
+type Row []int64
+
+// Result mirrors the order-sensitive sinks.
+type Result struct {
+	Rows     []Row
+	Children []*Result
+}
+
+// finishUnsorted leaks map iteration order into returned rows.
+func finishUnsorted(groups map[string]Row) []Row {
+	out := make([]Row, 0, len(groups))
+	for _, g := range groups { // want `rows accumulated in map iteration order escape this function without a sort`
+		out = append(out, g)
+	}
+	return out
+}
+
+// finishSorted restores a total order before returning: clean.
+func finishSorted(groups map[string]Row) []Row {
+	out := make([]Row, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// fillDirect appends into a sink field inside the loop.
+func fillDirect(res *Result, groups map[string]Row) {
+	for _, g := range groups { // want `map iteration order flows into result rows`
+		res.Rows = append(res.Rows, g)
+	}
+}
+
+// fillDirectSorted sorts the sink afterwards: clean.
+func fillDirectSorted(res *Result, groups map[string]Row) {
+	for _, g := range groups {
+		res.Rows = append(res.Rows, g)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i][0] < res.Rows[j][0] })
+}
+
+// assignAfterLoop routes the locally accumulated rows into a sink
+// field after the loop.
+func assignAfterLoop(res *Result, groups map[string]Row) {
+	var rows []Row
+	for _, g := range groups { // want `rows accumulated in map iteration order escape this function without a sort`
+		rows = append(rows, g)
+	}
+	res.Rows = rows
+}
+
+// localOnly accumulates from a map but the slice never escapes: the
+// order cannot be observed, so this is clean.
+func localOnly(groups map[string]Row) int {
+	var rows []Row
+	for _, g := range groups {
+		rows = append(rows, g)
+	}
+	return len(rows)
+}
+
+// sliceRange ranges over a slice, which iterates in index order:
+// clean.
+func sliceRange(in []Row) []Row {
+	var out []Row
+	for _, g := range in {
+		out = append(out, g)
+	}
+	return out
+}
+
+// suppressed records a written reason for an accepted ordering leak.
+func suppressed(groups map[string]Row) []Row {
+	out := make([]Row, 0, len(groups))
+	//lint:ignore determinism fixture: exercising the suppression syntax end to end
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	return out
+}

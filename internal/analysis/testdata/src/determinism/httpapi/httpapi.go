@@ -1,0 +1,16 @@
+// Package httpapi is outside the restricted set (exec, colstore,
+// optimizer): serving layers may read the wall clock and render maps
+// in any order, so none of this is flagged.
+package httpapi
+
+import "time"
+
+func now() int64 { return time.Now().Unix() }
+
+func render(m map[string]int64) []int64 {
+	var out []int64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

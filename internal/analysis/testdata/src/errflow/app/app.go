@@ -1,0 +1,46 @@
+// Package app exercises errflow: callers of the storage mirror that
+// drop, discard, or propagate mutation errors.
+package app
+
+import (
+	"fmt"
+
+	"hybriddb/lintfixtures/src/errflow/storage"
+)
+
+// flushAll drops mutation errors three ways.
+func flushAll(st *storage.Store) {
+	storage.Write(1)    // want `error returned by storage.Write is dropped`
+	defer st.Flush()    // want `error returned by storage.Flush is dropped`
+	go storage.Write(2) // want `error returned by storage.Write is dropped`
+}
+
+// propagate consumes the error: clean.
+func propagate(st *storage.Store) error {
+	if err := storage.Write(1); err != nil {
+		return fmt.Errorf("app: %w", err)
+	}
+	return st.Flush()
+}
+
+// explicitDiscard opts out greppably with the blank identifier: clean.
+func explicitDiscard(st *storage.Store) {
+	_ = st.Flush()
+}
+
+// readPath calls an error-free accessor: clean.
+func readPath(st *storage.Store) int {
+	return st.Pages()
+}
+
+// otherPackages outside storage/btree/colstore are not errflow's
+// business (println's fmt sibling below returns values nobody checks).
+func otherPackages() {
+	fmt.Println("not guarded")
+}
+
+// suppressed records why a dropped error is acceptable.
+func suppressed(st *storage.Store) {
+	//lint:ignore errflow fixture: exercising the suppression syntax end to end
+	st.Flush()
+}

@@ -1,0 +1,32 @@
+// Package storage mirrors hybriddb/internal/storage's mutation
+// surface for the errflow fixtures (matched by package path element).
+package storage
+
+import "errors"
+
+var errFull = errors.New("storage: pool full")
+
+// Write mirrors a page write.
+func Write(page int) error {
+	if page < 0 {
+		return errFull
+	}
+	return nil
+}
+
+// Store mirrors the buffer-pool owner.
+type Store struct {
+	dirty int
+}
+
+// Flush mirrors a pool flush.
+func (s *Store) Flush() error {
+	s.dirty = 0
+	return nil
+}
+
+// Pages is a read accessor without an error result: calls to it are
+// never errflow findings.
+func (s *Store) Pages() int {
+	return s.dirty
+}

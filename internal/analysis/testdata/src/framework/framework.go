@@ -1,0 +1,11 @@
+// Package framework backs the driver-level tests: suppression
+// matching, malformed ignore detection, and exit codes.
+package framework
+
+//lint:ignore framework-dummy fixture: this var is deliberately exempt
+var suppressedVar = 1
+
+var flaggedVar = 2
+
+//lint:ignore
+var malformedIgnoreAbove = 3

@@ -1,0 +1,116 @@
+// Package engine mirrors the shape of hybriddb/internal/engine for the
+// lockorder fixtures: a Database with the statement lock (mu, rank 10)
+// and the slow-query log lock (slowMu, rank 20). The lockorder
+// analyzer matches locks by (package element, type, field), so these
+// fixtures exercise exactly the production rank table.
+package engine
+
+import "sync"
+
+type Database struct {
+	mu     sync.RWMutex
+	slowMu sync.Mutex
+	n      int
+}
+
+// correctOrder follows the hierarchy: statement lock before log lock.
+func (db *Database) correctOrder() {
+	db.mu.Lock()
+	db.slowMu.Lock()
+	db.n++
+	db.slowMu.Unlock()
+	db.mu.Unlock()
+}
+
+// dispatchPattern is the engine's real shape: shared or exclusive
+// statement lock chosen by branch, released by defer. The branch fork
+// must not read as an upgrade.
+func (db *Database) dispatchPattern(readOnly bool) {
+	if readOnly {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	} else {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
+	db.n++
+}
+
+// inverted acquires the statement lock while holding the log lock.
+func (db *Database) inverted() {
+	db.slowMu.Lock()
+	db.mu.Lock() // want `lock order violation: acquiring engine statement lock \(rank 10\) while holding slow-query log lock \(rank 20\)`
+	db.n++
+	db.mu.Unlock()
+	db.slowMu.Unlock()
+}
+
+// upgrade re-acquires a held RWMutex, which self-deadlocks.
+func (db *Database) upgrade() {
+	db.mu.RLock()
+	db.mu.Lock() // want `acquiring engine statement lock .* while already holding it`
+	db.n++
+	db.mu.Unlock()
+	db.mu.RUnlock()
+}
+
+// sendUnderLock parks every other statement behind a channel send.
+func (db *Database) sendUnderLock(ch chan int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ch <- db.n // want `blocking operation \(channel send\) while holding engine statement lock`
+}
+
+// recvUnderLock blocks on a receive with the statement lock held.
+func (db *Database) recvUnderLock(ch chan int) {
+	db.mu.Lock()
+	db.n = <-ch // want `blocking operation \(channel receive\) while holding engine statement lock`
+	db.mu.Unlock()
+}
+
+// selectUnderLock parks in a select with the statement lock held.
+func (db *Database) selectUnderLock(ch chan int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	select { // want `blocking operation \(select\) while holding engine statement lock`
+	case v := <-ch:
+		db.n = v
+	case ch <- db.n:
+	}
+}
+
+// logLockMayBlock: slowMu is not a no-block lock (the slow-query log
+// writes JSON lines under it by design), so channel traffic under it
+// alone is fine.
+func (db *Database) logLockMayBlock(ch chan int) {
+	db.slowMu.Lock()
+	ch <- db.n
+	db.slowMu.Unlock()
+}
+
+// sendAfterUnlock releases before blocking: clean.
+func (db *Database) sendAfterUnlock(ch chan int) {
+	db.mu.Lock()
+	db.n++
+	db.mu.Unlock()
+	ch <- db.n
+}
+
+// goroutineResetsHeld: a spawned goroutine does not inherit the
+// spawner's locks.
+func (db *Database) goroutineResetsHeld(ch chan int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// suppressed documents a deliberate exception; the ignore comment
+// keeps the diagnostic out of the gate while recording why.
+func (db *Database) suppressed(ch chan int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	//lint:ignore lockorder fixture: exercising the suppression syntax end to end
+	ch <- db.n
+}

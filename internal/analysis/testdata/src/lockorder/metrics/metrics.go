@@ -1,0 +1,37 @@
+// Package metrics mirrors hybriddb/internal/metrics.Registry for the
+// lockorder fixtures: the registry lock is a leaf (rank 90) and a
+// no-block lock, because registration runs inside package init on
+// every import and /metrics rendering takes the same lock.
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]int
+}
+
+// register is the clean shape: short critical section, no blocking.
+func (r *Registry) register(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name]++
+}
+
+// sleepUnderRegistry parks metric registration process-wide.
+func (r *Registry) sleepUnderRegistry(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking operation \(time.Sleep\) while holding metrics registry lock`
+	r.metrics[name]++
+}
+
+// waitUnderRegistry blocks on a WaitGroup with the registry locked.
+func (r *Registry) waitUnderRegistry(wg *sync.WaitGroup) {
+	r.mu.RLock()
+	wg.Wait() // want `blocking operation \(sync.WaitGroup.Wait\) while holding metrics registry lock`
+	r.mu.RUnlock()
+}

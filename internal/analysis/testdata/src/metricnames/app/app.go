@@ -1,0 +1,58 @@
+// Package app exercises metricnames against the real
+// hybriddb/internal/metrics package (the fixture module replaces the
+// hybriddb module path with the repo root).
+package app
+
+import (
+	"fmt"
+
+	"hybriddb/internal/metrics"
+)
+
+// Package-level registration with constant snake_case names: the
+// production idiom, clean.
+var (
+	mGood = metrics.NewCounter("hybriddb_fixture_requests_total", "requests served")
+	mHist = metrics.NewHistogram("hybriddb_fixture_latency_seconds", "request latency")
+)
+
+// Constant-folded names are still compile-time constants: clean.
+const prefix = "hybriddb_fixture_"
+
+var mConst = metrics.NewGauge(prefix+"queue_depth", "queued statements")
+
+// Shape violations.
+var (
+	mCamel = metrics.NewCounter("HybriddbFixtureErrors", "errors") // want `metric name "HybriddbFixtureErrors" is not snake_case`
+	mDash  = metrics.NewGauge("hybriddb-fixture-depth", "depth")   // want `metric name "hybriddb-fixture-depth" is not snake_case`
+)
+
+// register builds a name at run time: unbounded cardinality.
+func register(shard int) *metrics.Counter {
+	return metrics.NewCounter(fmt.Sprintf("hybriddb_fixture_shard_%d_total", shard), "per-shard rows") // want `not a compile-time constant`
+}
+
+// duplicate registers a name the package already claimed above; the
+// registry silently hands back the first metric.
+var mDup = metrics.NewCounter("hybriddb_fixture_requests_total", "a different meaning") // want `already registered with the Default registry`
+
+// viaDefault reaches the Default registry through the method form;
+// the duplicate check still applies.
+func viaDefault() *metrics.Gauge {
+	return metrics.Default().Gauge("hybriddb_fixture_queue_depth", "queued") // want `already registered with the Default registry`
+}
+
+// scopedRegistries may reuse names (tests and benchmarks build their
+// own), but shape rules still apply.
+func scoped() {
+	r := metrics.NewRegistry()
+	r.Counter("hybriddb_fixture_requests_total", "scoped copy")
+	r.Counter("hybriddb_fixture_requests_total", "scoped copy again")
+	r.Gauge("Mixed_Case", "bad shape") // want `metric name "Mixed_Case" is not snake_case`
+}
+
+// suppressed keeps a legacy name with a written reason.
+func suppressed() *metrics.Counter {
+	//lint:ignore metricnames fixture: exercising the suppression syntax end to end
+	return metrics.NewCounter("LegacyFixtureName", "grandfathered dashboard dependency")
+}

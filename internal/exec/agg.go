@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"hybriddb/internal/plan"
 	"hybriddb/internal/sql"
@@ -239,6 +240,20 @@ func (c *aggCore) finish() []value.Row {
 		}
 		out = append(out, row)
 	}
+	// The groups map yields rows in randomized iteration order; sort by
+	// the group key tuple so a GROUP BY without ORDER BY returns the
+	// same rows in the same order every run and at every DOP (the
+	// crosscheck tests compare serial and parallel output row for row).
+	// Key tuples are unique, so this is a total order.
+	keyLen := len(c.a.GroupSlots)
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < keyLen; k++ {
+			if cmp := value.Compare(out[i][k], out[j][k]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
 	c.ctx.Tr.Free(c.bytes)
 	c.bytes = 0
 	return out

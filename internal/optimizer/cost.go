@@ -48,8 +48,8 @@ func selOfRange(h *stats.Histogram, r *colRange) float64 {
 // factor for non-sargable predicates.
 func tableSelectivity(t *table.Table, info *tableInfo) float64 {
 	sel := 1.0
-	for ord, r := range info.ranges {
-		sel *= selOfRange(t.Histogram(ord), r)
+	for _, ord := range sortedRangeOrds(info.ranges) {
+		sel *= selOfRange(t.Histogram(ord), info.ranges[ord])
 	}
 	sargableCount := 0
 	for _, c := range info.conjuncts {
@@ -225,8 +225,10 @@ func csiCandidate(t *table.Table, info *tableInfo, opts Options, sec *table.Seco
 		BatchMode: !opts.NoBatchMode,
 	}
 	frac := 1.0
-	// Pick the bounded range column with the best elimination.
-	for ord, r := range info.ranges {
+	// Pick the bounded range column with the best elimination
+	// (lowest-ordinal wins ties, so the pick is deterministic).
+	for _, ord := range sortedRangeOrds(info.ranges) {
+		r := info.ranges[ord]
 		if !r.bounded() {
 			continue
 		}

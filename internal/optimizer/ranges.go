@@ -11,6 +11,8 @@
 package optimizer
 
 import (
+	"sort"
+
 	"hybriddb/internal/sql"
 	"hybriddb/internal/value"
 )
@@ -40,6 +42,20 @@ func (r *colRange) tightenHi(v value.Value, excl bool) {
 
 // bounded reports whether any side is constrained.
 func (r *colRange) bounded() bool { return !r.loOpen || !r.hiOpen }
+
+// sortedRangeOrds returns the range map's column ordinals in ascending
+// order. Costing must visit ranges in a fixed order: selectivities are
+// folded with floating-point multiplication and prune-fraction ties are
+// broken first-seen, so map iteration order could flip the chosen plan
+// between identical runs.
+func sortedRangeOrds(ranges map[int]*colRange) []int {
+	ords := make([]int, 0, len(ranges))
+	for ord := range ranges {
+		ords = append(ords, ord)
+	}
+	sort.Ints(ords)
+	return ords
+}
 
 // tableInfo gathers per-table planning facts.
 type tableInfo struct {

@@ -1,0 +1,215 @@
+// Kernel benchmarks: encoding-aware predicate pushdown vs the naive
+// decode-then-filter baseline, at selectivities 0.001/0.01/0.1/1.0 over
+// RLE-compressed integers and dictionary-encoded strings. Every
+// iteration asserts the two paths select the identical row set (count
+// and key checksum), so `make benchsmoke` doubles as a differential
+// test of the kernels.
+//
+// `make bench` runs them with BENCH_KERNELS_JSON set, which writes
+// BENCH_kernels.json (kernel vs naive ns/op and speedup per family ×
+// selectivity). The ISSUE.md target is ≥2× at ≤1% selectivity and no
+// regression at selectivity 1.0.
+package hybriddb
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"hybriddb/internal/colstore"
+	"hybriddb/internal/storage"
+	"hybriddb/internal/value"
+)
+
+const kernelBenchRows = 262_144
+
+type kernelBenchCase struct {
+	sel   float64 // target selectivity, names the sub-benchmark
+	preds []colstore.Pred
+}
+
+// kernelBenchIndex builds a two-column index (k BIGINT unique, plus the
+// filter column) in one of two encoding families:
+//
+//   - "rle": a sorted 1000-distinct BIGINT column; the greedy group sort
+//     keeps it run-length encoded, so the kernel's O(runs) accept/skip
+//     walk is what is being measured.
+//   - "dict": a random 1000-distinct VARCHAR column with the group sort
+//     disabled, so dictionary codes stay bit-packed and the kernel
+//     compares codes without materializing strings.
+func kernelBenchIndex(b *testing.B, family string) (*colstore.Index, []kernelBenchCase) {
+	b.Helper()
+	st := storage.NewStore(0)
+	rows := make([]value.Row, kernelBenchRows)
+	switch family {
+	case "rle":
+		sch := value.NewSchema(
+			value.Column{Name: "k", Kind: value.KindInt},
+			value.Column{Name: "g", Kind: value.KindInt},
+		)
+		for i := range rows {
+			rows[i] = value.Row{
+				value.NewInt(int64(i)),
+				value.NewInt(int64(i) * 1000 / kernelBenchRows),
+			}
+		}
+		x := colstore.Build(st, colstore.Config{Schema: sch, Primary: true, RowGroupSize: 65536}, rows, nil)
+		return x, []kernelBenchCase{
+			{0.001, []colstore.Pred{{Col: 1, Op: colstore.PredEQ, Val: value.NewInt(500)}}},
+			{0.01, []colstore.Pred{{Col: 1, Op: colstore.PredLT, Val: value.NewInt(10)}}},
+			{0.1, []colstore.Pred{{Col: 1, Op: colstore.PredLT, Val: value.NewInt(100)}}},
+			{1.0, []colstore.Pred{{Col: 1, Op: colstore.PredGE, Val: value.NewInt(0)}}},
+		}
+	case "dict":
+		sch := value.NewSchema(
+			value.Column{Name: "k", Kind: value.KindInt},
+			value.Column{Name: "d", Kind: value.KindString},
+		)
+		rng := rand.New(rand.NewSource(23))
+		for i := range rows {
+			rows[i] = value.Row{
+				value.NewInt(int64(i)),
+				value.NewString(fmt.Sprintf("s%03d", rng.Intn(1000))),
+			}
+		}
+		x := colstore.Build(st, colstore.Config{
+			Schema: sch, Primary: true, RowGroupSize: 65536, NoGroupSort: true,
+		}, rows, nil)
+		return x, []kernelBenchCase{
+			{0.001, []colstore.Pred{{Col: 1, Op: colstore.PredEQ, Val: value.NewString("s500")}}},
+			{0.01, []colstore.Pred{{Col: 1, Op: colstore.PredLT, Val: value.NewString("s010")}}},
+			{0.1, []colstore.Pred{{Col: 1, Op: colstore.PredLT, Val: value.NewString("s100")}}},
+			{1.0, []colstore.Pred{{Col: 1, Op: colstore.PredGE, Val: value.NewString("s000")}}},
+		}
+	default:
+		b.Fatalf("unknown family %q", family)
+		return nil, nil
+	}
+}
+
+// kernelScan drains a scan with the predicates pushed into the scanner
+// (the kernel path: compressed-domain evaluation, late materialization)
+// and returns the selected row count and a checksum of the key column.
+func kernelScan(b *testing.B, x *colstore.Index, preds []colstore.Pred) (int64, int64) {
+	sc := x.NewScanner(nil, colstore.ScanSpec{PruneCol: -1, Preds: preds})
+	var n, sum int64
+	for sc.Next() {
+		bt := sc.Batch()
+		for i := 0; i < bt.Len(); i++ {
+			p := bt.LiveIndex(i)
+			n++
+			sum += bt.Cols[0].I[p]
+		}
+	}
+	if sc.KernelBatches == 0 {
+		b.Fatal("kernel path never fired; benchmark is not measuring the kernels")
+	}
+	return n, sum
+}
+
+// naiveScan is the decode-everything baseline the kernels replace: a
+// predicate-free scan fully materializes every batch, then the filter
+// runs per row on decoded values.
+func naiveScan(x *colstore.Index, preds []colstore.Pred) (int64, int64) {
+	sc := x.NewScanner(nil, colstore.ScanSpec{PruneCol: -1})
+	var n, sum int64
+	for sc.Next() {
+		bt := sc.Batch()
+		for i := 0; i < bt.Len(); i++ {
+			p := bt.LiveIndex(i)
+			ok := true
+			for _, pr := range preds {
+				// Cols == nil requests all columns, so the vector index
+				// equals the schema ordinal.
+				if !pr.Match(bt.Cols[pr.Col].Value(p)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+				sum += bt.Cols[0].I[p]
+			}
+		}
+	}
+	return n, sum
+}
+
+func benchKernelFamily(b *testing.B, family string) {
+	x, cases := kernelBenchIndex(b, family)
+	for _, c := range cases {
+		wantN, wantSum := naiveScan(x, c.preds)
+		if wantN == 0 || wantN == kernelBenchRows && c.sel < 1 {
+			b.Fatalf("sel%g: degenerate case selects %d of %d rows", c.sel, wantN, kernelBenchRows)
+		}
+		check := func(b *testing.B, n, sum int64) {
+			if n != wantN || sum != wantSum {
+				b.Fatalf("selected rows diverge: got (%d, %#x), want (%d, %#x)", n, sum, wantN, wantSum)
+			}
+		}
+		b.Run(fmt.Sprintf("sel%g/kernel", c.sel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, sum := kernelScan(b, x, c.preds)
+				check(b, n, sum)
+			}
+			recordKernelBench(family, c.sel, "kernel", b)
+		})
+		b.Run(fmt.Sprintf("sel%g/naive", c.sel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, sum := naiveScan(x, c.preds)
+				check(b, n, sum)
+			}
+			recordKernelBench(family, c.sel, "naive", b)
+		})
+	}
+}
+
+// BenchmarkKernelRLE measures the O(runs) accept/skip walk over
+// run-length-encoded integers.
+func BenchmarkKernelRLE(b *testing.B) { benchKernelFamily(b, "rle") }
+
+// BenchmarkKernelDict measures dictionary-code comparison over
+// bit-packed string codes.
+func BenchmarkKernelDict(b *testing.B) { benchKernelFamily(b, "dict") }
+
+// --- BENCH_kernels.json writer (active only when BENCH_KERNELS_JSON is
+// set; the file itself is written by TestMain in bench_parallel_test.go) ---
+
+type kernelBenchRecord struct {
+	Family      string  `json:"family"`
+	Selectivity float64 `json:"selectivity"`
+	KernelNs    float64 `json:"kernel_ns_per_op"`
+	NaiveNs     float64 `json:"naive_ns_per_op"`
+	Speedup     float64 `json:"speedup_kernel_vs_naive"`
+}
+
+var kernelRecords []kernelBenchRecord
+
+func recordKernelBench(family string, sel float64, variant string, b *testing.B) {
+	if os.Getenv("BENCH_KERNELS_JSON") == "" {
+		return
+	}
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	for i := range kernelRecords {
+		if kernelRecords[i].Family == family && kernelRecords[i].Selectivity == sel {
+			// Keep only the final (largest-N) measurement, like the
+			// parallel records.
+			if variant == "kernel" {
+				kernelRecords[i].KernelNs = ns
+			} else {
+				kernelRecords[i].NaiveNs = ns
+			}
+			return
+		}
+	}
+	rec := kernelBenchRecord{Family: family, Selectivity: sel}
+	if variant == "kernel" {
+		rec.KernelNs = ns
+	} else {
+		rec.NaiveNs = ns
+	}
+	kernelRecords = append(kernelRecords, rec)
+}

@@ -117,6 +117,18 @@ func recordParallelBench(name string, dop int, b *testing.B) {
 	benchRecords = append(benchRecords, rec)
 }
 
+// benchWarning reports the single hardware caveat that invalidates
+// parallel speedup numbers: fewer schedulable CPUs than the largest
+// benchmarked DOP. It is printed to stderr and recorded in the JSON so
+// a reader of the committed numbers sees it too.
+func benchWarning() string {
+	maxDOP := parallelDOPs[len(parallelDOPs)-1]
+	if p := runtime.GOMAXPROCS(0); p < maxDOP {
+		return fmt.Sprintf("GOMAXPROCS=%d is below the max benchmarked DOP %d; parallel speedups are scheduler noise on this machine", p, maxDOP)
+	}
+	return ""
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
@@ -138,11 +150,16 @@ func TestMain(m *testing.M) {
 				benchRecords[i].Speedup = b / benchRecords[i].NsPerOp
 			}
 		}
+		warn := benchWarning()
+		if warn != "" {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", warn)
+		}
 		out := struct {
 			GOMAXPROCS int                   `json:"gomaxprocs"`
 			NumCPU     int                   `json:"num_cpu"`
+			Warning    string                `json:"warning,omitempty"`
 			Results    []parallelBenchRecord `json:"results"`
-		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), benchRecords}
+		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), warn, benchRecords}
 		benchMu.Unlock()
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err == nil {
@@ -150,6 +167,37 @@ func TestMain(m *testing.M) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "BENCH_JSON: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if path := os.Getenv("BENCH_KERNELS_JSON"); path != "" && len(kernelRecords) > 0 {
+		benchMu.Lock()
+		sort.SliceStable(kernelRecords, func(i, j int) bool {
+			if kernelRecords[i].Family != kernelRecords[j].Family {
+				return kernelRecords[i].Family < kernelRecords[j].Family
+			}
+			return kernelRecords[i].Selectivity < kernelRecords[j].Selectivity
+		})
+		for i := range kernelRecords {
+			if kernelRecords[i].KernelNs > 0 {
+				kernelRecords[i].Speedup = kernelRecords[i].NaiveNs / kernelRecords[i].KernelNs
+			}
+		}
+		out := struct {
+			GOMAXPROCS int                 `json:"gomaxprocs"`
+			NumCPU     int                 `json:"num_cpu"`
+			Rows       int                 `json:"rows"`
+			Results    []kernelBenchRecord `json:"results"`
+		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), kernelBenchRows, kernelRecords}
+		benchMu.Unlock()
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_KERNELS_JSON: %v\n", err)
 			if code == 0 {
 				code = 1
 			}

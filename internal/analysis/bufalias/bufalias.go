@@ -13,8 +13,12 @@
 //
 // A "scratch field" is any slice-bearing struct field declared in the
 // analyzed package whose name contains "scratch" or "buf" (case
-// insensitive): selBuf, scratch, keyBuf all match. The analyzer flags,
-// anywhere in the package:
+// insensitive) — selBuf, scratch, keyBuf all match — or any unexported
+// field with a "sel" prefix (sel, selVec, selIdx): selection vectors
+// produced by the predicate kernels are reused batch to batch exactly
+// like scratch rows. Exported Sel fields (vec.Batch.Sel) are the
+// documented public hand-off surface, not private scratch, and stay
+// exempt. The analyzer flags, anywhere in the package:
 //
 //   - a go statement whose call or closure references a scratch field;
 //   - a channel send whose value references a scratch field;
@@ -128,16 +132,21 @@ func isScratchField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 	if !ok || field.Pkg() == nil || field.Pkg() != pass.Pkg {
 		return false
 	}
-	if !scratchName(field.Name()) {
+	if !scratchName(field.Name(), field.Exported()) {
 		return false
 	}
 	return carriesSlice(field.Type())
 }
 
-// scratchName matches the naming convention for reusable buffers.
-func scratchName(name string) bool {
+// scratchName matches the naming convention for reusable buffers:
+// scratch/buf anywhere, or an unexported sel prefix (selection
+// vectors).
+func scratchName(name string, exported bool) bool {
 	l := strings.ToLower(name)
-	return strings.Contains(l, "scratch") || strings.Contains(l, "buf")
+	if strings.Contains(l, "scratch") || strings.Contains(l, "buf") {
+		return true
+	}
+	return !exported && strings.HasPrefix(l, "sel")
 }
 
 // carriesSlice reports whether t is, or contains (through arrays), a

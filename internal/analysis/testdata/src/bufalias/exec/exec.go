@@ -78,3 +78,31 @@ func (s *source) Suppressed() []int {
 	//lint:ignore bufalias fixture: exercising the suppression syntax end to end
 	return s.scratch
 }
+
+// selSource mirrors the predicate kernels' selection-vector idiom: an
+// unexported sel-prefixed slice is reused scratch; the exported Sel
+// field is the documented public hand-off surface and stays exempt.
+type selSource struct {
+	sel []int
+	Sel []int
+}
+
+// Selected leaks the kernel's reusable selection vector.
+func (s *selSource) Selected() []int {
+	return s.sel // want `scratch buffer selSource.sel returned from exported Selected`
+}
+
+// PublicSel returns the exported selection view, which is allowed: its
+// validity contract is documented on the type, like vec.Batch.Sel.
+func (s *selSource) PublicSel() []int {
+	return s.Sel
+}
+
+// shipSelAsync races the owner's per-batch reuse of the selection.
+func (s *selSource) shipSelAsync(done chan struct{}) {
+	go func() { // want `scratch buffer selSource.sel escapes to a goroutine`
+		for range s.sel {
+		}
+		close(done)
+	}()
+}

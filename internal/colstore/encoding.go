@@ -41,6 +41,7 @@ type segment struct {
 	enc   encKind
 	base  int64    // value subtracted before packing (or float bits)
 	width uint8    // bits per packed value
+	maxd  uint64   // largest delta stored (0 for const/empty)
 	words []uint64 // packed payload
 
 	runs      []run
@@ -171,6 +172,7 @@ func buildSegment(kind value.Kind, vals []value.Value) *segment {
 		runs = 0
 	}
 	s.width = bitsFor(maxDelta)
+	s.maxd = maxDelta
 
 	const headerBytes = 64
 	nullBytes := int64(0)
@@ -317,6 +319,75 @@ func (s *segment) decodeRange(dst *decodeSink, from, to int) {
 	}
 }
 
+// unpackRange decodes the packed deltas at positions [from, to) into
+// dst (which must have capacity to-from), walking the payload words
+// linearly instead of recomputing word/offset per index. This is the
+// word-block decode the predicate kernels and selected-position
+// materialization share; it is only valid on encPacked segments.
+func (s *segment) unpackRange(dst []uint64, from, to int) []uint64 {
+	dst = dst[:0]
+	w := uint(s.width)
+	if w == 0 {
+		for i := from; i < to; i++ {
+			dst = append(dst, 0)
+		}
+		return dst
+	}
+	mask := ^uint64(0)
+	if w < 64 {
+		mask = 1<<w - 1
+	}
+	words := s.words
+	bitPos := uint(from) * w
+	for i := from; i < to; i++ {
+		word, off := bitPos>>6, bitPos&63
+		v := words[word] >> off
+		if off+w > 64 {
+			v |= words[word+1] << (64 - off)
+		}
+		dst = append(dst, v&mask)
+		bitPos += w
+	}
+	return dst
+}
+
+// decodeSelected appends only the (ascending) group-row positions in
+// sel into dst — the late-materialization path: non-filter columns are
+// decoded for surviving rows only.
+func (s *segment) decodeSelected(dst *decodeSink, sel []int) {
+	switch s.enc {
+	case encConst:
+		for _, i := range sel {
+			dst.add(s, i, s.base)
+		}
+	case encPacked:
+		for _, i := range sel {
+			dst.add(s, i, s.base+int64(s.getPacked(i)))
+		}
+	default:
+		if len(sel) == 0 {
+			return
+		}
+		r := sort.Search(len(s.runStarts), func(j int) bool {
+			return s.runStarts[j] > int32(sel[0])
+		}) - 1
+		end := s.n
+		if r+1 < len(s.runStarts) {
+			end = int(s.runStarts[r+1])
+		}
+		for _, i := range sel {
+			for i >= end {
+				r++
+				end = s.n
+				if r+1 < len(s.runStarts) {
+					end = int(s.runStarts[r+1])
+				}
+			}
+			dst.add(s, i, s.base+s.runs[r].val)
+		}
+	}
+}
+
 // decodeSink adapts decode output into a vec.Vec-shaped target without
 // importing vec here (scan.go wires them together).
 type decodeSink struct {
@@ -329,6 +400,12 @@ func (d *decodeSink) add(s *segment, i int, raw int64) {
 	null := s.isNull(i)
 	switch s.kind {
 	case value.KindString:
+		if null {
+			// Null slots carry delta 0, which is not a valid dictionary
+			// index when every row is null (empty dictionary).
+			d.addS("", true)
+			return
+		}
 		d.addS(s.dict[raw], null)
 	case value.KindFloat:
 		d.addF(math.Float64frombits(uint64(raw)), null)

@@ -1,0 +1,198 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"hybriddb/internal/value"
+)
+
+// fuzzValues decodes a byte stream into a column of one kind plus its
+// values: the first byte picks the kind, the second the null rate, the
+// rest drive the per-row generator. Small modulos keep dictionaries and
+// deltas crossing their encoding boundaries (const/RLE/packed, 1-entry
+// and many-entry dictionaries) while occasional raw 8-byte reads inject
+// extreme int64s.
+func fuzzValues(data []byte) (value.Kind, []value.Value) {
+	if len(data) < 2 {
+		return value.KindInt, nil
+	}
+	kinds := []value.Kind{value.KindInt, value.KindDate, value.KindBool, value.KindFloat, value.KindString}
+	kind := kinds[int(data[0])%len(kinds)]
+	nullMod := int(data[1]%7) + 2
+	data = data[2:]
+	var vals []value.Value
+	for i := 0; i+1 < len(data) && len(vals) < 4096; i += 2 {
+		b := data[i]
+		if int(b)%nullMod == 0 {
+			vals = append(vals, value.Null)
+			continue
+		}
+		x := int64(b)<<8 | int64(data[i+1])
+		switch kind {
+		case value.KindString:
+			// Dictionary size boundary: b odd → tiny alphabet (const or
+			// 1-2 entry dictionaries), b even → wide.
+			mod := int64(3)
+			if b%2 == 0 {
+				mod = 601
+			}
+			vals = append(vals, value.NewString(string(rune('a'+(x%mod)%26))+string(rune('a'+(x%mod)/26%26))))
+		case value.KindBool:
+			vals = append(vals, value.NewBool(x%2 == 0))
+		case value.KindFloat:
+			vals = append(vals, value.NewFloat(float64(x-16384)/float64(int64(b)+1)))
+		case value.KindDate:
+			vals = append(vals, value.NewDate(x-16384))
+		default:
+			if b == 0xff && i+8 < len(data) {
+				// Raw 8 bytes: extreme values, overflow boundaries.
+				vals = append(vals, value.NewInt(int64(binary.LittleEndian.Uint64(data[i+1:]))))
+				i += 7
+				continue
+			}
+			vals = append(vals, value.NewInt(x-16384))
+		}
+	}
+	return kind, vals
+}
+
+// sameValue compares with float NaN/bit awareness: round-tripping must
+// preserve the exact bit pattern, not just numeric equality.
+func sameValue(a, b value.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() == b.IsNull()
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == value.KindFloat {
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	}
+	return value.Compare(a, b) == 0
+}
+
+// FuzzSegmentRoundTrip checks that every encoding choice decodes back
+// to the exact input: valueAt per position, decodeRange over the whole
+// segment, and decodeSelected over every position.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 3, 10, 20, 30, 40, 50, 60})
+	f.Add([]byte{4, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{3, 5, 255, 255, 255, 255, 255, 255, 255, 255, 255, 0, 1})
+	f.Add([]byte{2, 6, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, vals := fuzzValues(data)
+		if len(vals) == 0 {
+			return
+		}
+		s := buildSegment(kind, vals)
+		if s.n != len(vals) {
+			t.Fatalf("n = %d, want %d", s.n, len(vals))
+		}
+		for i, want := range vals {
+			if got := s.valueAt(i); !sameValue(got, want) {
+				t.Fatalf("valueAt(%d) = %v, want %v (enc %d)", i, got, want, s.enc)
+			}
+		}
+		// decodeSelected over all positions must agree with valueAt.
+		sel := make([]int, s.n)
+		for i := range sel {
+			sel[i] = i
+		}
+		var got []value.Value
+		sink := &decodeSink{
+			addI: func(raw int64, null bool) { got = append(got, rawToValue(s, raw, null)) },
+			addF: func(fv float64, null bool) {
+				if null {
+					got = append(got, value.Null)
+				} else {
+					got = append(got, value.NewFloat(fv))
+				}
+			},
+			addS: func(str string, null bool) {
+				if null {
+					got = append(got, value.Null)
+				} else {
+					got = append(got, value.NewString(str))
+				}
+			},
+		}
+		s.decodeSelected(sink, sel)
+		if len(got) != len(vals) {
+			t.Fatalf("decodeSelected yielded %d values, want %d", len(got), len(vals))
+		}
+		for i := range vals {
+			if !sameValue(got[i], vals[i]) {
+				t.Fatalf("decodeSelected[%d] = %v, want %v (enc %d)", i, got[i], vals[i], s.enc)
+			}
+		}
+	})
+}
+
+// rawToValue rebuilds an integer-typed value from the sink callback.
+func rawToValue(s *segment, raw int64, null bool) value.Value {
+	if null {
+		return value.Null
+	}
+	return s.toValue(raw)
+}
+
+// FuzzKernelVsNaive is the differential target: arbitrary data, an
+// arbitrary predicate, and an arbitrary sub-range must produce the
+// same selection from the compiled kernel as from per-row Match.
+func FuzzKernelVsNaive(f *testing.F) {
+	f.Add([]byte{0, 3, 10, 20, 30, 40, 50, 60}, byte(2), uint16(100), byte(0), byte(100))
+	f.Add([]byte{4, 2, 1, 2, 3, 4, 5, 6, 7, 8}, byte(0), uint16(3), byte(1), byte(255))
+	f.Add([]byte{1, 4, 9, 8, 7, 6, 5, 4, 3, 2}, byte(5), uint16(0), byte(10), byte(90))
+	f.Fuzz(func(t *testing.T, data []byte, opByte byte, constSel uint16, fromB, toB byte) {
+		kind, vals := fuzzValues(data)
+		if len(vals) == 0 {
+			return
+		}
+		if kind == value.KindFloat {
+			return // floats are not kernel-evaluable (Pushable rejects them)
+		}
+		s := buildSegment(kind, vals)
+		op := allOps[int(opByte)%len(allOps)]
+
+		// Pick the predicate constant from the data itself (hits stored
+		// values and dictionary entries) or synthesize an outlier.
+		var cv value.Value
+		pick := int(constSel) % (len(vals) + 2)
+		switch {
+		case pick < len(vals) && !vals[pick].IsNull():
+			cv = vals[pick]
+		case kind == value.KindString:
+			cv = value.NewString("~outlier~")
+		default:
+			cv = value.NewInt(math.MaxInt64 - int64(constSel))
+		}
+		if cv.IsNull() {
+			return
+		}
+		if !Pushable(kind, cv) {
+			return
+		}
+
+		from := int(fromB) % len(vals)
+		to := from + int(toB)%(len(vals)-from) + 1
+		if to > len(vals) {
+			to = len(vals)
+		}
+
+		p := Pred{Op: op, Val: cv}
+		want := naiveSel(s, p, from, to)
+		got := kernelSel(s, p, from, to)
+		if !sameSel(got, want) {
+			t.Fatalf("enc=%d op=%s const=%v range=[%d,%d): kernel %v, naive %v", s.enc, op, cv, from, to, got, want)
+		}
+		// refine must agree too: seed with all live rows, refine by p.
+		sp := compilePred(s, p)
+		all := appendLive(nil, s, from, to)
+		refined := sp.refine(all)
+		if !sameSel(refined, want) {
+			t.Fatalf("refine: enc=%d op=%s const=%v: got %v, want %v", s.enc, op, cv, refined, want)
+		}
+	})
+}

@@ -22,6 +22,14 @@ type ScanSpec struct {
 	// elimination via rowgroup min/max metadata.
 	PruneCol int
 	Lo, Hi   value.Value
+	// Preds are predicates the scanner owns end to end: on compressed
+	// rowgroups without a pending delete buffer they run as
+	// encoding-aware kernels over the compressed representation and the
+	// batch is late-materialized for surviving rows only; on the delta
+	// store and delete-buffer scans they fall back to naive post-decode
+	// evaluation. Either way every emitted row satisfies all of them, so
+	// the executor must not re-apply pushed predicates.
+	Preds []Pred
 	// SkipDelta omits delta-store rows (used by maintenance scans).
 	SkipDelta bool
 	// Partition, when non-nil, restricts the scan to one morsel of a
@@ -65,10 +73,34 @@ type Scanner struct {
 	delSet map[string]int // anti-semi join set from the delete buffer
 	keyPos []int          // positions of key ordinals within s.cols
 
+	// Predicate pushdown state. predPos maps each pred to its vector
+	// index in s.cols (the pred column is appended if the caller did not
+	// request it); kernelOK gates the compressed fast path on every pred
+	// kind being kernel-evaluable.
+	predPos  []int
+	kernelOK bool
+	segPreds []segPred // compiled for the current rowgroup
+
+	// selScratch and unpackBuf are the kernel's reusable selection
+	// vector and packed-decode block. Like the batch, their contents are
+	// valid only until the next Next call on this scanner.
+	selScratch []int
+	unpackBuf  []uint64
+
 	// Stats
 	GroupsScanned    int
 	GroupsEliminated int
 	DeltaRowsScanned int
+	// KernelBatches / FallbackBatches count batches with pushed
+	// predicates evaluated by the compressed-domain kernels vs the naive
+	// post-decode fallback; KernelRowsIn/Out measure kernel selectivity
+	// (RowsOut/RowsIn is the sel_density trace attribute); RunsSkipped
+	// counts whole RLE runs rejected without touching their rows.
+	KernelBatches   int
+	FallbackBatches int
+	KernelRowsIn    int64
+	KernelRowsOut   int64
+	RunsSkipped     int64
 }
 
 type deltaCursor struct {
@@ -118,6 +150,38 @@ func (x *Index) NewScanner(tr *vclock.Tracker, spec ScanSpec) *Scanner {
 				s.cols = append(s.cols, ko)
 			}
 			s.keyPos[ki] = pos
+		}
+	}
+
+	// Pushed predicates: resolve each pred column to a vector index
+	// (decoding it if the caller did not request it) and decide whether
+	// the kernel fast path applies. Kernels require every pred to be
+	// kernel-evaluable and no pending delete buffer: the buffer is a
+	// destructive anti-semi multiset consumed in physical row order, so
+	// filtering before it could cancel a different physical duplicate
+	// than the naive path would.
+	if len(spec.Preds) > 0 {
+		s.predPos = make([]int, len(spec.Preds))
+		s.kernelOK = s.delSet == nil
+		for pi, p := range spec.Preds {
+			if p.Col < 0 || p.Col >= x.cfg.Schema.Len() {
+				panic("colstore: pred column out of range")
+			}
+			if !Pushable(x.cfg.Schema.Columns[p.Col].Kind, p.Val) {
+				s.kernelOK = false
+			}
+			pos := -1
+			for ci, c := range s.cols {
+				if c == p.Col {
+					pos = ci
+					break
+				}
+			}
+			if pos == -1 {
+				pos = len(s.cols)
+				s.cols = append(append([]int(nil), s.cols...), p.Col)
+			}
+			s.predPos[pi] = pos
 		}
 	}
 
@@ -214,6 +278,14 @@ func (s *Scanner) nextCompressed() bool {
 				s.tr.SegmentsRead++
 			}
 		}
+		// Compile pushed predicates against this rowgroup's segments
+		// once; every batch of the group reuses the compiled form.
+		if s.kernelOK {
+			s.segPreds = s.segPreds[:0]
+			for pi, p := range s.spec.Preds {
+				s.segPreds = append(s.segPreds, compilePred(s.segs[s.predPos[pi]], p))
+			}
+		}
 		s.curGroup = g
 		s.offset = 0
 	}
@@ -231,37 +303,52 @@ func (s *Scanner) nextCompressed() bool {
 
 	s.batch.Reset()
 	s.locs = s.locs[:0]
-	for ci := range s.cols {
-		v := s.batch.Cols[ci]
-		sink := &decodeSink{
-			addI: func(raw int64, null bool) {
-				v.I = append(v.I, raw)
-				if null {
-					markNull(v)
-				} else if v.Null != nil {
-					v.Null = append(v.Null, false)
-				}
-			},
-			addF: func(f float64, null bool) {
-				v.F = append(v.F, f)
-				if null {
-					markNull(v)
-				} else if v.Null != nil {
-					v.Null = append(v.Null, false)
-				}
-			},
-			addS: func(str string, null bool) {
-				v.S = append(v.S, str)
-				if null {
-					markNull(v)
-				} else if v.Null != nil {
-					v.Null = append(v.Null, false)
-				}
-			},
-		}
-		s.segs[ci].decodeRange(sink, from, to)
-	}
 	n := to - from
+
+	if s.kernelOK && len(s.segPreds) > 0 {
+		// Kernel fast path: evaluate the pushed predicates on the
+		// compressed representation, then late-materialize the surviving
+		// positions only. The emitted batch is dense (Sel == nil).
+		sel := s.selScratch[:0]
+		sel, s.unpackBuf = s.segPreds[0].first(sel, from, to, s.unpackBuf, &s.RunsSkipped)
+		for i := 1; i < len(s.segPreds) && len(sel) > 0; i++ {
+			sel = s.segPreds[i].refine(sel)
+		}
+		pruned := n - len(sel)
+		if g.ndel > 0 {
+			out := sel[:0]
+			for _, p := range sel {
+				if !g.isDeleted(p) {
+					out = append(out, p)
+				}
+			}
+			sel = out
+		}
+		s.selScratch = sel // retain the grown buffer for the next batch
+		s.KernelBatches++
+		s.KernelRowsIn += int64(n)
+		s.KernelRowsOut += int64(len(sel))
+		mKernelBatches.Inc()
+		mKernelRowsPruned.Add(int64(pruned))
+		for ci := range s.cols {
+			s.segs[ci].decodeSelected(sinkFor(s.batch.Cols[ci]), sel)
+		}
+		s.batch.SetLen(len(sel))
+		for _, p := range sel {
+			s.locs = append(s.locs, Locator{Group: int32(s.gi - 1), Row: int32(p)})
+		}
+		if s.tr != nil {
+			// Compressed-domain compare over all rows (cheaper than
+			// decode), then decode cost for survivors only.
+			s.tr.ChargeParallelCPU(vclock.CPU(int64(n*len(s.segPreds)), s.tr.Model.BatchCPU/4), 1.0)
+			s.tr.ChargeParallelCPU(vclock.CPU(int64(len(sel)*len(s.cols)), s.tr.Model.BatchCPU/2), 1.0)
+		}
+		return true
+	}
+
+	for ci := range s.cols {
+		s.segs[ci].decodeRange(sinkFor(s.batch.Cols[ci]), from, to)
+	}
 	s.batch.SetLen(n)
 	for i := from; i < to; i++ {
 		s.locs = append(s.locs, Locator{Group: int32(s.gi - 1), Row: int32(i)})
@@ -272,9 +359,12 @@ func (s *Scanner) nextCompressed() bool {
 		s.tr.ChargeParallelCPU(vclock.CPU(int64(n*len(s.cols)), s.tr.Model.BatchCPU/2), 1.0)
 	}
 
-	// Apply the delete bitmap and the delete-buffer anti-semi join by
-	// building a selection vector.
-	needSel := g.ndel > 0 || s.delSet != nil
+	// Apply the delete bitmap, the delete-buffer anti-semi join, and any
+	// pushed predicates by building a selection vector. Predicates must
+	// run after the delete logic: the buffer is a destructive multiset
+	// consumed in physical row order, so filtering first could cancel a
+	// different physical duplicate.
+	needSel := g.ndel > 0 || s.delSet != nil || len(s.spec.Preds) > 0
 	if needSel {
 		sel := make([]int, 0, n)
 		var buf []byte
@@ -295,12 +385,19 @@ func (s *Scanner) nextCompressed() bool {
 			}
 			sel = append(sel, i)
 		}
+		if len(s.spec.Preds) > 0 {
+			s.FallbackBatches++
+			mKernelFallbacks.Inc()
+			sel = s.applyPredsNaive(sel)
+		}
 		s.batch.Sel = sel
 		// Anti-semi join probe cost.
 		if s.delSet != nil && s.tr != nil {
 			s.tr.ChargeParallelCPU(vclock.CPU(int64(n), s.tr.Model.HashCPU), 1.0)
 		}
-		// Compact locators to live rows.
+		// Compact locators to live rows — exactly once, after both the
+		// delete logic and predicate filtering, so locs[i] stays aligned
+		// with live ordinal i.
 		live := make([]Locator, len(sel))
 		for i, p := range sel {
 			live[i] = s.locs[p]
@@ -308,6 +405,60 @@ func (s *Scanner) nextCompressed() bool {
 		s.locs = live
 	}
 	return true
+}
+
+// sinkFor adapts a vector into a decodeSink target.
+func sinkFor(v *vec.Vec) *decodeSink {
+	return &decodeSink{
+		addI: func(raw int64, null bool) {
+			v.I = append(v.I, raw)
+			if null {
+				markNull(v)
+			} else if v.Null != nil {
+				v.Null = append(v.Null, false)
+			}
+		},
+		addF: func(f float64, null bool) {
+			v.F = append(v.F, f)
+			if null {
+				markNull(v)
+			} else if v.Null != nil {
+				v.Null = append(v.Null, false)
+			}
+		},
+		addS: func(str string, null bool) {
+			v.S = append(v.S, str)
+			if null {
+				markNull(v)
+			} else if v.Null != nil {
+				v.Null = append(v.Null, false)
+			}
+		},
+	}
+}
+
+// applyPredsNaive narrows sel (batch-relative live ordinals) to rows
+// matching every pushed predicate, evaluating each on the materialized
+// batch — the fallback when the kernel path does not apply.
+func (s *Scanner) applyPredsNaive(sel []int) []int {
+	in := len(sel)
+	out := sel[:0]
+	for _, i := range sel {
+		ok := true
+		for pi, p := range s.spec.Preds {
+			if !p.Match(s.batch.Cols[s.predPos[pi]].Value(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	if s.tr != nil {
+		s.tr.ChargeParallelCPU(vclock.CPU(int64(in*len(s.spec.Preds)), s.tr.Model.BatchCPU), 1.0)
+	}
+	return out
 }
 
 func markNull(v *vec.Vec) {
@@ -347,20 +498,30 @@ func (s *Scanner) nextDelta() bool {
 		// Row-mode cost for delta rows.
 		s.tr.ChargeParallelCPU(vclock.CPU(int64(n), s.tr.Model.RowCPU), 1.0)
 	}
-	// Delta rows can also be logically deleted via the delete buffer.
-	if s.delSet != nil {
+	// Delta rows can also be logically deleted via the delete buffer,
+	// and pushed predicates apply here through the naive fallback: the
+	// delta store is uncompressed, so there is no kernel form.
+	needSel := s.delSet != nil || len(s.spec.Preds) > 0
+	if needSel {
 		sel := make([]int, 0, n)
 		var buf []byte
 		for i := 0; i < n; i++ {
-			buf = buf[:0]
-			for _, kp := range s.keyPos {
-				buf = value.EncodeKey(buf, s.batch.Cols[kp].Value(i))
-			}
-			if c, ok := s.delSet[string(buf)]; ok && c > 0 {
-				s.delSet[string(buf)] = c - 1
-				continue
+			if s.delSet != nil {
+				buf = buf[:0]
+				for _, kp := range s.keyPos {
+					buf = value.EncodeKey(buf, s.batch.Cols[kp].Value(i))
+				}
+				if c, ok := s.delSet[string(buf)]; ok && c > 0 {
+					s.delSet[string(buf)] = c - 1
+					continue
+				}
 			}
 			sel = append(sel, i)
+		}
+		if len(s.spec.Preds) > 0 {
+			s.FallbackBatches++
+			mKernelFallbacks.Inc()
+			sel = s.applyPredsNaive(sel)
 		}
 		live := make([]Locator, len(sel))
 		for i, p := range sel {
@@ -392,14 +553,26 @@ func (x *Index) PruneFraction(col int, lo, hi value.Value) float64 {
 
 // ScanRows is a convenience that materializes every live row (in the
 // requested columns) — used by tests, maintenance, and index builds.
+// Rows are carved out of one backing array per batch rather than
+// allocated (and populated value-by-value) per row.
 func (x *Index) ScanRows(tr *vclock.Tracker, cols []int) []value.Row {
 	sc := x.NewScanner(tr, ScanSpec{Cols: cols, PruneCol: -1})
 	ncols := len(sc.spec.Cols)
 	var out []value.Row
 	for sc.Next() {
 		b := sc.Batch()
-		for i := 0; i < b.Len(); i++ {
-			out = append(out, b.Row(i)[:ncols])
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		backing := make([]value.Value, n*ncols)
+		for i := 0; i < n; i++ {
+			p := b.LiveIndex(i)
+			row := backing[i*ncols : (i+1)*ncols : (i+1)*ncols]
+			for c := 0; c < ncols; c++ {
+				row[c] = b.Cols[c].Value(p)
+			}
+			out = append(out, value.Row(row))
 		}
 	}
 	return out

@@ -162,9 +162,12 @@ type ExecOptions struct {
 	// NoColumnstore removes columnstore access paths (B+-tree-only
 	// baseline costing/execution).
 	NoColumnstore bool
-	// NoElimination and NoBatchMode are ablation switches.
-	NoElimination bool
-	NoBatchMode   bool
+	// NoElimination, NoBatchMode, and NoKernelPushdown are ablation
+	// switches; NoKernelPushdown keeps predicate evaluation in the
+	// executor instead of the columnstore's encoding-aware kernels.
+	NoElimination    bool
+	NoBatchMode      bool
+	NoKernelPushdown bool
 	// Parallelism is the real worker-goroutine budget for morsel-driven
 	// parallel operators: 0 defers to Database.DefaultParallelism (and
 	// its automatic choice), 1 forces serial execution, N allows up to N
@@ -197,11 +200,12 @@ func (db *Database) workers(o ExecOptions) int {
 
 func (db *Database) optOptions(o ExecOptions) optimizer.Options {
 	return optimizer.Options{
-		Model:         db.model,
-		MemGrant:      o.MemGrant,
-		NoColumnstore: o.NoColumnstore,
-		NoElimination: o.NoElimination,
-		NoBatchMode:   o.NoBatchMode,
+		Model:            db.model,
+		MemGrant:         o.MemGrant,
+		NoColumnstore:    o.NoColumnstore,
+		NoElimination:    o.NoElimination,
+		NoBatchMode:      o.NoBatchMode,
+		NoKernelPushdown: o.NoKernelPushdown,
 	}
 }
 

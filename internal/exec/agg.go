@@ -8,6 +8,7 @@ import (
 	"hybriddb/internal/sql"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
+	"hybriddb/internal/vec"
 )
 
 func buildAgg(ctx *Context, a *plan.Agg) (Cursor, error) {
@@ -288,6 +289,63 @@ func (c *rowHashAgg) Next() (value.Row, bool) {
 	return r, true
 }
 
+// aggSlotCols resolves the batch vector index of every composite slot
+// the aggregation reads — group slots plus aggregate-argument columns —
+// so the per-row scratch fill materializes only those values instead of
+// every decoded column (late materialization carried through the
+// aggregation). Pairs are (vector index, slot). ok=false when a needed
+// slot is not among the source's decoded columns (the scratch must then
+// be filled from all of them).
+func aggSlotCols(a *plan.Agg, src *csiBatchSource) ([][2]int, bool) {
+	seen := make(map[int]bool)
+	var slots []int
+	addSlot := func(s int) {
+		if !seen[s] {
+			seen[s] = true
+			slots = append(slots, s)
+		}
+	}
+	for _, s := range a.GroupSlots {
+		addSlot(s)
+	}
+	for i := range a.Specs {
+		if a.Specs[i].Arg == nil {
+			continue
+		}
+		sql.WalkExprs(a.Specs[i].Arg, func(x sql.Expr) {
+			if c, ok := x.(*sql.ColRef); ok {
+				addSlot(c.Slot)
+			}
+		})
+	}
+	pairs := make([][2]int, 0, len(slots))
+	for _, slot := range slots {
+		vi, ok := src.vecIndex(slot)
+		if !ok {
+			return nil, false
+		}
+		pairs = append(pairs, [2]int{vi, slot})
+	}
+	return pairs, true
+}
+
+// fillAggScratch materializes one live batch row into the scratch
+// composite row, touching only the aggregation's needed slots when the
+// pair list is available.
+func fillAggScratch(scratch value.Row, b *vec.Batch, p int, pairs [][2]int, ok bool, src *csiBatchSource, slotBase, schemaLen int) {
+	if ok {
+		for _, pr := range pairs {
+			scratch[pr[1]] = b.Cols[pr[0]].Value(p)
+		}
+		return
+	}
+	for vi, ord := range src.cols {
+		if ord < schemaLen {
+			scratch[slotBase+ord] = b.Cols[vi].Value(p)
+		}
+	}
+}
+
 // batchHashAgg drains a columnstore batch source through the agg core,
 // charging batch-mode rates (the vectorized aggregation that gives
 // columnstores their Figure 4 advantage while the grant lasts).
@@ -313,6 +371,7 @@ func newBatchHashAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (*batchHashAgg,
 	m := ctx.Tr.Model
 	scratch := make(value.Row, ctx.TotalSlots)
 	schemaLen := scan.Table.Schema.Len()
+	pairs, fast := aggSlotCols(a, src)
 	for {
 		b, ok := src.next()
 		if !ok {
@@ -322,11 +381,7 @@ func newBatchHashAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (*batchHashAgg,
 		ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), (m.BatchCPU*2)+m.BatchCPU), 1.0)
 		for i := 0; i < n; i++ {
 			p := b.LiveIndex(i)
-			for vi, ord := range src.cols {
-				if ord < schemaLen {
-					scratch[scan.SlotBase+ord] = b.Cols[vi].Value(p)
-				}
-			}
+			fillAggScratch(scratch, b, p, pairs, fast, src, scan.SlotBase, schemaLen)
 			core.add(scratch)
 		}
 	}

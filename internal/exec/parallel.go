@@ -135,6 +135,14 @@ func annotate(tn *metrics.TraceNode, morselTNs []*metrics.TraceNode, w int, work
 	for _, mt := range morselTNs {
 		tn.Absorb(mt)
 	}
+	// Absorb sums attrs key-wise, which is right for the kernel row
+	// counters but turns the per-morsel sel_density ratios into a
+	// meaningless sum — recompute it from the summed counters so the
+	// attribute is identical to a serial run's.
+	if in, ok := tn.Attr("kernel_rows_in"); ok {
+		out, _ := tn.Attr("kernel_rows_out")
+		tn.SetAttr("sel_density", selDensity(in, out))
+	}
 	tn.SetAttr("parallel_workers", int64(w))
 	tn.SetAttr("morsels", int64(len(morselTNs)))
 	for wi, g := range workerGroups {
@@ -308,6 +316,7 @@ func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bo
 		}
 		core, scratch := wcores[wi], scratches[wi]
 		m := wctx.Tr.Model
+		pairs, fast := aggSlotCols(a, src)
 		for {
 			b, ok := src.next()
 			if !ok {
@@ -317,11 +326,7 @@ func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bo
 			wctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), (m.BatchCPU*2)+m.BatchCPU), 1.0)
 			for i := 0; i < n; i++ {
 				p := b.LiveIndex(i)
-				for vi, ord := range src.cols {
-					if ord < schemaLen {
-						scratch[scan.SlotBase+ord] = b.Cols[vi].Value(p)
-					}
-				}
+				fillAggScratch(scratch, b, p, pairs, fast, src, scan.SlotBase, schemaLen)
 				core.add(scratch)
 			}
 		}

@@ -25,12 +25,9 @@ type csiBatchSource struct {
 	uidIdx  int
 	scratch value.Row
 
-	// selBuf holds two reusable selection buffers. Conjunct evaluation
-	// ping-pongs between them: conjunct N+1 reads the batch's current
-	// selection (written by conjunct N) while building the narrowed one,
-	// so a single buffer would be read and overwritten at once.
-	selBuf [2][]int
-	selIdx int
+	// selPool provides the reusable selection buffers conjunct
+	// evaluation ping-pongs between (see vec.SelPool).
+	selPool vec.SelPool
 
 	// tn, when non-nil, receives batch counts and rowgroup-elimination
 	// stats. When timed is set the source also owns the node's rows,
@@ -88,6 +85,15 @@ func newCSIBatchSource(ctx *Context, s *plan.Scan, part *colstore.ScanPartition)
 		if !s.Hi.Unbounded {
 			spec.Hi = s.Hi.Val
 		}
+	}
+	// Pushed predicates: the scanner owns them end to end (kernel or
+	// naive fallback), so they are not re-applied here.
+	for _, p := range s.Push {
+		op, ok := colstore.ParseOp(p.Op)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown pushed operator %q", p.Op)
+		}
+		spec.Preds = append(spec.Preds, colstore.Pred{Col: p.Col, Op: op, Val: p.Val})
 	}
 	src := &csiBatchSource{
 		ctx:    ctx,
@@ -155,17 +161,33 @@ func (s *csiBatchSource) observe(rows int, b0 int64, t0 time.Duration) {
 	if s.sc.DeltaRowsScanned > 0 {
 		s.tn.SetAttr("delta_rows", int64(s.sc.DeltaRowsScanned))
 	}
+	if s.sc.KernelBatches > 0 {
+		s.tn.SetAttr("kernel_batches", int64(s.sc.KernelBatches))
+		s.tn.SetAttr("kernel_rows_in", s.sc.KernelRowsIn)
+		s.tn.SetAttr("kernel_rows_out", s.sc.KernelRowsOut)
+		s.tn.SetAttr("sel_density", selDensity(s.sc.KernelRowsIn, s.sc.KernelRowsOut))
+	}
+	if s.sc.FallbackBatches > 0 {
+		s.tn.SetAttr("kernel_fallback_batches", int64(s.sc.FallbackBatches))
+	}
+}
+
+// selDensity is the kernel survival rate in per-mille — an integer so
+// the attribute both renders compactly and can be recomputed from the
+// summed kernel_rows_in/out after parallel trace nodes are absorbed
+// (attrs are merged by summation, which would corrupt a ratio).
+func selDensity(in, out int64) int64 {
+	if in == 0 {
+		return 0
+	}
+	return out * 1000 / in
 }
 
 // nextSel returns the other scratch selection buffer, emptied and with
 // capacity for n entries. The caller may read b.Sel (the previously
 // returned buffer) while appending to this one.
 func (s *csiBatchSource) nextSel(n int) []int {
-	s.selIdx ^= 1
-	if cap(s.selBuf[s.selIdx]) < n {
-		s.selBuf[s.selIdx] = make([]int, 0, vec.BatchSize)
-	}
-	return s.selBuf[s.selIdx][:0]
+	return s.selPool.Next(n)
 }
 
 // applyFast handles ColRef-op-Lit conjuncts on integer-representable

@@ -224,6 +224,13 @@ func csiCandidate(t *table.Table, info *tableInfo, opts Options, sec *table.Seco
 		Covered:   true,
 		BatchMode: !opts.NoBatchMode,
 	}
+	if !opts.NoKernelPushdown {
+		// Hand sargable conjuncts to the scanner's encoding-aware
+		// kernels; the executor keeps only the residual expressions.
+		// Costing still uses the full conjunct set via tableSelectivity,
+		// so the split never changes the chosen plan shape.
+		s.Push, s.Filter = splitPushable(t, info.conjuncts, info.slotBase)
+	}
 	frac := 1.0
 	// Pick the bounded range column with the best elimination
 	// (lowest-ordinal wins ties, so the pick is deterministic).

@@ -39,6 +39,10 @@ type Options struct {
 	// NoBatchMode forces row-mode costing for columnstore scans
 	// (ablation).
 	NoBatchMode bool
+	// NoKernelPushdown keeps all filter conjuncts in the executor
+	// instead of pushing sargable ones into the columnstore scanner's
+	// encoding-aware kernels (ablation / differential testing).
+	NoKernelPushdown bool
 }
 
 // Optimize builds the cheapest physical plan for a bound SELECT.

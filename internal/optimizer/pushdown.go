@@ -1,0 +1,75 @@
+package optimizer
+
+import (
+	"hybriddb/internal/plan"
+	"hybriddb/internal/sql"
+	"hybriddb/internal/table"
+	"hybriddb/internal/value"
+)
+
+// flipOp mirrors a comparison when the literal is on the left.
+var flipOp = map[string]string{
+	"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+// splitPushable partitions a table's conjuncts into predicates the
+// columnstore scanner can own end to end (evaluated by encoding-aware
+// kernels on the compressed representation) and residual expressions
+// the executor keeps. The gate is deliberately stricter than the
+// kernels themselves: only same-kind int, date, and string comparisons
+// are pushed, because sql.Eval widens cross-kind numeric comparisons
+// through float64 while the kernels compare exact int64
+// representations — pushing those could change results above 2^53.
+// Floats are never pushed (their bit pattern is not order-preserving
+// for negatives) and bools stay behind the same-kind gate.
+func splitPushable(t *table.Table, conjuncts []sql.Expr, slotBase int) ([]plan.PushPred, []sql.Expr) {
+	var push []plan.PushPred
+	var rest []sql.Expr
+	for _, c := range conjuncts {
+		if p, ok := pushablePred(t, c, slotBase); ok {
+			push = append(push, p)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	return push, rest
+}
+
+// pushablePred normalizes col-op-lit (or lit-op-col) comparisons into
+// a PushPred when the comparison is kernel-safe.
+func pushablePred(t *table.Table, c sql.Expr, slotBase int) (plan.PushPred, bool) {
+	bin, ok := c.(*sql.BinOp)
+	if !ok {
+		return plan.PushPred{}, false
+	}
+	op := bin.Op
+	if _, known := flipOp[op]; !known {
+		return plan.PushPred{}, false
+	}
+	col, colOK := bin.L.(*sql.ColRef)
+	lit, litOK := bin.R.(*sql.Lit)
+	if !colOK || !litOK {
+		col, colOK = bin.R.(*sql.ColRef)
+		lit, litOK = bin.L.(*sql.Lit)
+		if !colOK || !litOK {
+			return plan.PushPred{}, false
+		}
+		op = flipOp[op]
+	}
+	if lit.Val.IsNull() {
+		return plan.PushPred{}, false
+	}
+	ord := col.Slot - slotBase
+	if ord < 0 || ord >= t.Schema.Len() {
+		return plan.PushPred{}, false
+	}
+	kind := t.Schema.Columns[ord].Kind
+	if kind != lit.Val.Kind() {
+		return plan.PushPred{}, false
+	}
+	switch kind {
+	case value.KindInt, value.KindDate, value.KindString:
+		return plan.PushPred{Col: ord, Op: op, Val: lit.Val}, true
+	}
+	return plan.PushPred{}, false
+}

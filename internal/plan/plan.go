@@ -68,6 +68,18 @@ type Bound struct {
 	Unbounded bool
 }
 
+// PushPred is a column-op-constant conjunct pushed all the way into
+// the columnstore scanner, where it is evaluated by encoding-aware
+// kernels on the compressed segment representation. Op is the SQL
+// comparison operator ("=", "<>", "<", "<=", ">", ">="); Col is a
+// table ordinal. The scanner owns pushed predicates end to end, so the
+// executor must not re-evaluate them.
+type PushPred struct {
+	Col int
+	Op  string
+	Val value.Value
+}
+
 // Scan reads one FROM table through a chosen access path, applies the
 // pushed-down filter conjuncts, and emits composite rows (or batches,
 // for columnstore scans feeding batch-capable parents).
@@ -81,7 +93,11 @@ type Scan struct {
 	SeekCol   int              // table ordinal driving the seek / prune
 	Lo, Hi    Bound
 	Filter    []sql.Expr // residual conjuncts evaluated on this table's rows
-	NeedCols  []int      // table ordinals the query needs (CSI projection)
+	// Push are conjuncts pushed below Filter into the columnstore
+	// scanner's encoding-aware kernels (AccessCSIScan only). Rows the
+	// scan emits already satisfy them.
+	Push     []PushPred
+	NeedCols []int // table ordinals the query needs (CSI projection)
 	BatchMode bool       // executor consumes batches (CSI only)
 	// Covered reports whether the access path contains every needed
 	// column; an uncovered secondary seek must look up the base table.

@@ -1,0 +1,33 @@
+package vec
+
+// SelPool manages the reusable selection buffers that vectorized
+// filtering ping-pongs between. Narrowing a batch's selection reads
+// the current Sel while appending survivors to the next buffer, so a
+// single buffer would be read and overwritten at once; two buffers
+// alternated per Next call make the narrowing loop allocation-free
+// after warm-up.
+//
+// Buffers returned by Next alias the pool: they are valid until the
+// second following Next call, which is exactly the lifetime of a
+// batch's selection between two filter steps. Do not retain them
+// across batches.
+type SelPool struct {
+	bufs [2][]int
+	idx  int
+}
+
+// Next returns the other buffer, emptied, with capacity for at least n
+// entries. The caller may keep reading the previously returned buffer
+// (e.g. via Batch.Sel) while appending to this one.
+func (p *SelPool) Next(n int) []int {
+	p.idx ^= 1
+	if cap(p.bufs[p.idx]) < n {
+		size := n
+		if size < BatchSize {
+			size = BatchSize
+		}
+		p.bufs[p.idx] = make([]int, 0, size)
+	}
+	//lint:ignore bufalias Next is the pool's sanctioned hand-out; the type doc bounds the alias lifetime to the second following Next call
+	return p.bufs[p.idx][:0]
+}

@@ -36,10 +36,11 @@ ci: vet lint build test race benchsmoke
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 	BENCH_JSON=$(CURDIR)/BENCH_parallel.json BENCH_KERNELS_JSON=$(CURDIR)/BENCH_kernels.json \
-		$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkKernel(RLE|Dict)' -run '^$$' .
+		BENCH_BATCH_JSON=$(CURDIR)/BENCH_batch.json \
+		$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)' -run '^$$' .
 
 # benchsmoke also runs the kernel-vs-naive benchmarks for one iteration:
 # each iteration asserts both paths select the identical row set, so the
 # differential check runs in CI without benchmark timing.
 benchsmoke:
-	$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkKernel(RLE|Dict)' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)' -benchtime 1x -run '^$$' .

@@ -1,0 +1,142 @@
+// Batch-spine benchmarks: the same hash-join and TOP-N queries through
+// the default batch executor and the legacy row spine, at worker counts
+// 1/4/8. Virtual metrics are bit-identical across spines and DOPs by
+// construction (TestBatchRowSpineEquivalence asserts it); these measure
+// the one thing allowed to differ — real elapsed time — and track the
+// batch spine's advantage over per-row execution across commits.
+//
+// `make bench` runs them with BENCH_BATCH_JSON set, which writes
+// BENCH_batch.json: ns/op per query × DOP × spine, plus the batch
+// speedup over the row spine at the same DOP.
+package hybriddb
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"hybriddb/internal/value"
+)
+
+// batchBenchDB builds a TPC-H-subset pair of columnstore tables: a
+// 20k-row orders dimension and a 120k-row lineitem fact, joined on the
+// order key.
+func batchBenchDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open(WithRowGroupSize(8192))
+	if _, err := db.Exec("CREATE TABLE borders (o_k BIGINT, o_g BIGINT, o_total DOUBLE)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE blineitem (l_ok BIGINT, l_q BIGINT, l_v DOUBLE)"); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	orders := make([]value.Row, 20_000)
+	for i := range orders {
+		orders[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(64)),
+			value.NewFloat(float64(rng.Intn(100_000)) / 100),
+		}
+	}
+	db.Internal().Table("borders").BulkLoad(nil, orders)
+	lines := make([]value.Row, 120_000)
+	for i := range lines {
+		lines[i] = value.Row{
+			value.NewInt(rng.Int63n(20_000)),
+			value.NewInt(rng.Int63n(50)),
+			value.NewFloat(float64(rng.Intn(10_000)) / 4),
+		}
+	}
+	db.Internal().Table("blineitem").BulkLoad(nil, lines)
+	for _, ddl := range []string{
+		"CREATE CLUSTERED COLUMNSTORE INDEX cci_o ON borders (o_k)",
+		"CREATE CLUSTERED COLUMNSTORE INDEX cci_l ON blineitem (l_ok)",
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+var batchDOPs = []int{1, 4, 8}
+
+func benchBatchQuery(b *testing.B, name, query string) {
+	db := batchBenchDB(b)
+	var wantRows = -1
+	for _, dop := range batchDOPs {
+		for _, mode := range []string{"batch", "row"} {
+			b.Run(fmt.Sprintf("DOP%d/%s", dop, mode), func(b *testing.B) {
+				opts := ExecOptions{Parallelism: dop, RowMode: mode == "row"}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := db.Exec(query, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Both spines at every DOP must agree on cardinality
+					// (the differential test checks full contents).
+					if wantRows < 0 {
+						wantRows = len(res.Rows)
+					} else if len(res.Rows) != wantRows {
+						b.Fatalf("%d rows, want %d", len(res.Rows), wantRows)
+					}
+				}
+				b.StopTimer()
+				recordBatchBench(name, dop, mode, b)
+			})
+		}
+	}
+}
+
+// BenchmarkBatchJoin runs a selective build-side hash join with
+// aggregation above it: filtered orders build, full lineitem probe
+// (fused morsel-driven at DOP > 1).
+func BenchmarkBatchJoin(b *testing.B) {
+	benchBatchQuery(b, "join",
+		"SELECT o_g, count(*), sum(l_v) FROM borders JOIN blineitem ON l_ok = o_k WHERE o_g < 8 GROUP BY o_g")
+}
+
+// BenchmarkBatchTopN runs TOP above a sort over a selective scan — the
+// blocking shape that keeps TOP batch-eligible and the scan below it
+// morsel-eligible.
+func BenchmarkBatchTopN(b *testing.B) {
+	benchBatchQuery(b, "topn",
+		"SELECT TOP 100 l_ok, l_v FROM blineitem WHERE l_q < 20 ORDER BY l_v DESC, l_ok")
+}
+
+// --- BENCH_batch.json records (written by TestMain when
+// BENCH_BATCH_JSON is set; shares benchMu with the other writers) ---
+
+type batchBenchRecord struct {
+	Bench   string  `json:"bench"`
+	DOP     int     `json:"dop"`
+	Spine   string  `json:"spine"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// SpeedupVsRow is batch-spine speedup over the row spine at the
+	// same DOP (populated on batch records only).
+	SpeedupVsRow float64 `json:"speedup_vs_row,omitempty"`
+}
+
+var batchRecords []batchBenchRecord
+
+func recordBatchBench(name string, dop int, spine string, b *testing.B) {
+	if os.Getenv("BENCH_BATCH_JSON") == "" {
+		return
+	}
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	rec := batchBenchRecord{
+		Bench: name, DOP: dop, Spine: spine,
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}
+	for i := range batchRecords {
+		if batchRecords[i].Bench == name && batchRecords[i].DOP == dop && batchRecords[i].Spine == spine {
+			batchRecords[i] = rec
+			return
+		}
+	}
+	batchRecords = append(batchRecords, rec)
+}

@@ -172,6 +172,49 @@ func TestMain(m *testing.M) {
 			}
 		}
 	}
+	if path := os.Getenv("BENCH_BATCH_JSON"); path != "" && len(batchRecords) > 0 {
+		benchMu.Lock()
+		sort.SliceStable(batchRecords, func(i, j int) bool {
+			if batchRecords[i].Bench != batchRecords[j].Bench {
+				return batchRecords[i].Bench < batchRecords[j].Bench
+			}
+			if batchRecords[i].DOP != batchRecords[j].DOP {
+				return batchRecords[i].DOP < batchRecords[j].DOP
+			}
+			return batchRecords[i].Spine < batchRecords[j].Spine
+		})
+		rowNs := map[string]float64{}
+		for _, r := range batchRecords {
+			if r.Spine == "row" {
+				rowNs[fmt.Sprintf("%s/%d", r.Bench, r.DOP)] = r.NsPerOp
+			}
+		}
+		for i := range batchRecords {
+			r := &batchRecords[i]
+			if r.Spine == "batch" && r.NsPerOp > 0 {
+				if base := rowNs[fmt.Sprintf("%s/%d", r.Bench, r.DOP)]; base > 0 {
+					r.SpeedupVsRow = base / r.NsPerOp
+				}
+			}
+		}
+		out := struct {
+			GOMAXPROCS int                `json:"gomaxprocs"`
+			NumCPU     int                `json:"num_cpu"`
+			Warning    string             `json:"warning,omitempty"`
+			Results    []batchBenchRecord `json:"results"`
+		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), benchWarning(), batchRecords}
+		benchMu.Unlock()
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_BATCH_JSON: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
 	if path := os.Getenv("BENCH_KERNELS_JSON"); path != "" && len(kernelRecords) > 0 {
 		benchMu.Lock()
 		sort.SliceStable(kernelRecords, func(i, j int) bool {

@@ -16,15 +16,31 @@
 // insensitive) — selBuf, scratch, keyBuf all match — or any unexported
 // field with a "sel" prefix (sel, selVec, selIdx): selection vectors
 // produced by the predicate kernels are reused batch to batch exactly
-// like scratch rows. Exported Sel fields (vec.Batch.Sel) are the
-// documented public hand-off surface, not private scratch, and stay
-// exempt. The analyzer flags, anywhere in the package:
+// like scratch rows. "Slice-bearing" is transitive: a struct or
+// pointer-to-struct field whose type carries a slice anywhere inside
+// aliases that slice on shallow copy, so it counts too. Exported Sel
+// fields (vec.Batch.Sel) are the documented public hand-off surface,
+// not private scratch, and stay exempt.
+//
+// Batch handles get the same treatment regardless of name: any
+// unexported field whose (pointer-dereferenced) named type contains
+// "batch" — vec.Batch, SlotBatch, BatchCursor, csiBatchSource — is a
+// reuse-scoped buffer, because every batch producer recycles its
+// vectors and selection on the next call and BatchCursor itself is a
+// single-owner pull handle. The analyzer flags, anywhere in the
+// package:
 //
 //   - a go statement whose call or closure references a scratch field;
 //   - a channel send whose value references a scratch field;
 //   - a return of a scratch field from an exported function or method
 //     (unexported helpers like nextSel hand the buffer to their own
 //     operator, which is the intended reuse).
+//
+// Two exported method names are exempt from the return check: NextBatch
+// (the BatchCursor boundary) and Batch (the colstore Scanner accessor).
+// Both ARE the documented hand-off surface — their contract that the
+// result is valid only until the next call is the reuse discipline this
+// analyzer protects, not a violation of it.
 package bufalias
 
 import (
@@ -64,7 +80,7 @@ func run(pass *analysis.Pass) error {
 						pass.Reportf(sel.Pos(), "scratch buffer %s sent over a channel; the receiver races the owner's reuse", fieldName(pass, sel))
 					}
 				case *ast.ReturnStmt:
-					if !exported {
+					if !exported || batchBoundary(fn.Name.Name) {
 						return true
 					}
 					for _, res := range n.Results {
@@ -120,9 +136,16 @@ func scratchRefExpr(pass *analysis.Pass, e ast.Expr) *ast.SelectorExpr {
 	return scratchRef(pass, e)
 }
 
-// isScratchField reports whether sel selects a scratch buffer field:
-// a field declared in the analyzed package, slice-bearing, with a
-// scratch-ish name.
+// batchBoundary reports whether an exported method name is a
+// documented batch hand-off surface, whose returned buffer is
+// contractually valid only until the next call.
+func batchBoundary(name string) bool {
+	return name == "NextBatch" || name == "Batch"
+}
+
+// isScratchField reports whether sel selects a scratch buffer field: a
+// field declared in the analyzed package that is either batch-typed or
+// slice-bearing with a scratch-ish name.
 func isScratchField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 	s, ok := pass.TypesInfo.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
@@ -132,10 +155,31 @@ func isScratchField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 	if !ok || field.Pkg() == nil || field.Pkg() != pass.Pkg {
 		return false
 	}
+	if batchTyped(field) {
+		return true
+	}
 	if !scratchName(field.Name(), field.Exported()) {
 		return false
 	}
-	return carriesSlice(field.Type())
+	return carriesSlice(field.Type(), nil)
+}
+
+// batchTyped reports whether field is an unexported handle to a batch:
+// its type, after one pointer dereference, is a named type (struct or
+// interface) whose name contains "batch". Batch contents are valid
+// only until the producer's next call, and a BatchCursor is a
+// single-owner pull handle, so both escape hazards apply independent
+// of the field's own name.
+func batchTyped(field *types.Var) bool {
+	if field.Exported() {
+		return false
+	}
+	t := field.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && strings.Contains(strings.ToLower(n.Obj().Name()), "batch")
 }
 
 // scratchName matches the naming convention for reusable buffers:
@@ -149,14 +193,32 @@ func scratchName(name string, exported bool) bool {
 	return !exported && strings.HasPrefix(l, "sel")
 }
 
-// carriesSlice reports whether t is, or contains (through arrays), a
-// slice: []int and [2][]int both qualify.
-func carriesSlice(t types.Type) bool {
+// carriesSlice reports whether t is, or contains (through arrays,
+// structs, and pointers), a slice: []int, [2][]int, and a struct with
+// a slice field all qualify — shallow-copying any of them keeps the
+// inner slice header aliased to the original backing array. seen
+// guards against recursive types (a *node linked through itself).
+func carriesSlice(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
 	switch u := t.Underlying().(type) {
 	case *types.Slice:
 		return true
 	case *types.Array:
-		return carriesSlice(u.Elem())
+		return carriesSlice(u.Elem(), seen)
+	case *types.Pointer:
+		return carriesSlice(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesSlice(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
 	}
 	return false
 }

@@ -106,3 +106,72 @@ func (s *selSource) shipSelAsync(done chan struct{}) {
 		close(done)
 	}()
 }
+
+// rowBatch mirrors exec.SlotBatch / vec.Batch: a batch-typed struct
+// whose vectors are recycled by the producer on its next call. The
+// type name alone marks fields of this type as reuse-scoped.
+type rowBatch struct {
+	vals []int
+}
+
+// batchCursor mirrors exec.BatchCursor: the single-owner pull boundary
+// whose returned batch is valid until the next NextBatch call.
+type batchCursor interface {
+	NextBatch() (*rowBatch, bool)
+}
+
+// op mirrors a batch operator: an input cursor and a reused output
+// batch, both batch-typed fields (neither name matches buf/scratch).
+type op struct {
+	in  batchCursor
+	out rowBatch
+}
+
+// NextBatch returns the reused output batch across the documented
+// hand-off boundary. Exempt by method name.
+func (o *op) NextBatch() (*rowBatch, bool) {
+	o.out.vals = o.out.vals[:0]
+	return &o.out, true
+}
+
+// Batch mirrors colstore's Scanner.Batch accessor: the other
+// documented hand-off surface, exempt by method name.
+func (o *op) Batch() *rowBatch { return &o.out }
+
+// Current leaks the reused batch through an exported method that is
+// NOT a hand-off boundary: callers have no reuse contract to read.
+func (o *op) Current() *rowBatch {
+	return &o.out // want `scratch buffer op.out returned from exported Current`
+}
+
+// shipCursorAsync hands the pull cursor to a goroutine: batches pulled
+// there race the owner's drain of the same single-owner handle.
+func (o *op) shipCursorAsync(done chan struct{}) {
+	go func() { // want `scratch buffer op.in escapes to a goroutine`
+		o.in.NextBatch()
+		close(done)
+	}()
+}
+
+// publishBatch sends the live output batch to another goroutine, which
+// reads it while NextBatch recycles its vectors.
+func (o *op) publishBatch(out chan *rowBatch) {
+	out <- &o.out // want `scratch buffer op.out sent over a channel`
+}
+
+// wrapped mirrors a scratch buffer buried one struct deep: rowBuf's
+// type carries a slice transitively, and shallow-copying the struct
+// keeps the inner slice header aliased to the original.
+type wrapped struct {
+	vals []int
+}
+
+type deepSource struct {
+	rowBuf wrapped
+}
+
+// Buffer returns the scratch struct by value; the copy still aliases
+// rowBuf.vals, so the return is flagged like a direct slice.
+func (d *deepSource) Buffer() wrapped {
+	return d.rowBuf // want `scratch buffer deepSource.rowBuf returned from exported Buffer`
+}

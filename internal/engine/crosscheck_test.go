@@ -44,15 +44,38 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	// fallback-to-serial) path.
 	mustExec(t, db, "DELETE FROM p WHERE a BETWEEN 500 AND 700")
 
+	// Second columnstore table so hash joins cross the exchange on both
+	// sides (parallel build-side scan, fused morsel-driven probe).
+	mustExec(t, db, "CREATE TABLE q (x BIGINT, y BIGINT, z DOUBLE)")
+	qrows := make([]value.Row, 6000)
+	for i := range qrows {
+		qrows[i] = value.Row{
+			value.NewInt(int64(i % 40)),
+			value.NewInt(rng.Int63n(12)),
+			value.NewFloat(float64(rng.Intn(400)) / 8),
+		}
+	}
+	db.Table("q").BulkLoad(nil, qrows)
+	mustExec(t, db, "CREATE CLUSTERED COLUMNSTORE INDEX qcci ON q (x)")
+
 	queries := []string{
 		"SELECT count(*), sum(a), min(b), max(b) FROM p",
 		"SELECT count(*), sum(a) FROM p WHERE b < 11",
 		"SELECT b, count(*), sum(a) FROM p GROUP BY b",
 		"SELECT b, count(DISTINCT d) FROM p GROUP BY b",
 		"SELECT b, avg(a) FROM p WHERE d = 'v03' GROUP BY b",
-		"SELECT b, avg(c) FROM p GROUP BY b", // float AVG: serial fallback gate
+		"SELECT b, avg(c) FROM p GROUP BY b", // float AVG: morsel-order partial merge
+		"SELECT sum(c), avg(c) FROM p",       // scalar float fold
+		"SELECT count(DISTINCT d), sum(DISTINCT b) FROM p",
 		"SELECT a, b FROM p WHERE b = 7 ORDER BY a",
 		"SELECT a, b, c FROM p WHERE a >= 25000 ORDER BY a, b",
+		// Hash joins: build and probe both columnstore scans.
+		"SELECT x, count(*), sum(a) FROM p JOIN q ON b = x GROUP BY x",
+		"SELECT y, count(*), sum(c) FROM p JOIN q ON b = x WHERE z < 30 GROUP BY y",
+		// TOP above a blocking operator (sort / aggregate) keeps the
+		// pipeline below it morsel-eligible.
+		"SELECT TOP 10 a, b FROM p WHERE b < 20 ORDER BY a",
+		"SELECT TOP 7 b, sum(c) FROM p GROUP BY b ORDER BY b",
 	}
 	canon := func(res *Result) string {
 		out := make([]string, len(res.Rows))

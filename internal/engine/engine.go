@@ -174,6 +174,10 @@ type ExecOptions struct {
 	// workers. It does not affect the plan's (virtual) DOP or any
 	// reported Metrics — only wall-clock time.
 	Parallelism int
+	// RowMode executes SELECTs on the legacy row-at-a-time spine
+	// instead of the default batch spine. Results and Metrics are
+	// bit-identical either way; only real CPU time differs.
+	RowMode bool
 }
 
 // workers resolves the real worker budget for one statement. Automatic
@@ -349,7 +353,8 @@ func (db *Database) execExplain(s *sql.ExplainStmt, o ExecOptions) (*Result, err
 	}
 	tr := vclock.NewTracker(db.model)
 	trace := &metrics.TraceNode{} // synthetic root; children are the operators
-	res, err := exec.RunWith(tr, root, bound.TotalSlots, exec.RunOptions{Trace: trace, Workers: db.workers(o)})
+	res, err := exec.Execute(tr, root, bound.TotalSlots,
+		exec.RunOptions{Trace: trace, Workers: db.workers(o), RowMode: o.RowMode})
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +408,8 @@ func (db *Database) execSelect(s *sql.SelectStmt, o ExecOptions) (*Result, error
 		return nil, err
 	}
 	tr := vclock.NewTracker(db.model)
-	res, err := exec.RunWith(tr, root, bound.TotalSlots, exec.RunOptions{Workers: db.workers(o)})
+	res, err := exec.Execute(tr, root, bound.TotalSlots,
+		exec.RunOptions{Workers: db.workers(o), RowMode: o.RowMode})
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"fmt"
 	"sort"
 
 	"hybriddb/internal/plan"
@@ -23,12 +22,11 @@ func buildAgg(ctx *Context, a *plan.Agg) (Cursor, error) {
 	// batch source when the input is a batch-capable scan.
 	if a.BatchMode {
 		if scan, ok := a.Input.(*plan.Scan); ok && scan.Access == plan.AccessCSIScan {
-			if cur, ok, err := newParallelBatchAgg(ctx, a, scan); err != nil {
+			rows, err := aggScanDirectRows(ctx, a, scan)
+			if err != nil {
 				return nil, err
-			} else if ok {
-				return cur, nil
 			}
-			return newBatchHashAgg(ctx, a, scan)
+			return &batchHashAgg{rows: rows}, nil
 		}
 	}
 	in, err := Build(ctx, a.Input)
@@ -38,12 +36,17 @@ func buildAgg(ctx *Context, a *plan.Agg) (Cursor, error) {
 	return newRowHashAgg(ctx, a, in)
 }
 
-// aggState accumulates one aggregate for one group.
+// aggState accumulates one aggregate for one group. DISTINCT
+// aggregates only collect the deduplicated value set here; all
+// arithmetic happens in finalDistinct over a fixed (encoded-key) fold
+// order, so partial states merge by plain set union — the deterministic
+// merge that lets DISTINCT plans run morsel-parallel at any worker
+// count.
 type aggState struct {
 	count    int64
 	sum      value.Value
 	min, max value.Value
-	distinct map[string]bool
+	distinct map[string]value.Value
 }
 
 func (s *aggState) update(spec *plan.AggSpec, v value.Value) {
@@ -56,13 +59,10 @@ func (s *aggState) update(spec *plan.AggSpec, v value.Value) {
 	}
 	if spec.Distinct {
 		if s.distinct == nil {
-			s.distinct = make(map[string]bool)
+			s.distinct = make(map[string]value.Value)
 		}
-		k := string(value.EncodeKey(nil, v))
-		if s.distinct[k] {
-			return
-		}
-		s.distinct[k] = true
+		s.distinct[string(value.EncodeKey(nil, v))] = v
+		return
 	}
 	s.count++
 	switch spec.Func {
@@ -98,15 +98,18 @@ func (s *aggState) merge(o *aggState, spec *plan.AggSpec) {
 	if !o.max.IsNull() && (s.max.IsNull() || value.Compare(o.max, s.max) > 0) {
 		s.max = o.max
 	}
-	for k := range o.distinct {
+	for k, v := range o.distinct {
 		if s.distinct == nil {
-			s.distinct = make(map[string]bool)
+			s.distinct = make(map[string]value.Value)
 		}
-		s.distinct[k] = true
+		s.distinct[k] = v
 	}
 }
 
 func (s *aggState) final(spec *plan.AggSpec) value.Value {
+	if spec.Distinct && spec.Arg != nil {
+		return s.finalDistinct(spec)
+	}
 	switch spec.Func {
 	case plan.AggCount:
 		return value.NewInt(s.count)
@@ -121,6 +124,42 @@ func (s *aggState) final(spec *plan.AggSpec) value.Value {
 		return s.min
 	case plan.AggMax:
 		return s.max
+	}
+	return value.Null
+}
+
+// finalDistinct folds the deduplicated value set in encoded-key order.
+// value.EncodeKey is order-preserving, so the fold runs in value order
+// — a fixed order independent of arrival order, morsel assignment, and
+// worker count, which makes even float SUM(DISTINCT)/AVG(DISTINCT)
+// bit-identical across serial and parallel execution.
+func (s *aggState) finalDistinct(spec *plan.AggSpec) value.Value {
+	n := len(s.distinct)
+	if spec.Func == plan.AggCount {
+		return value.NewInt(int64(n))
+	}
+	if n == 0 {
+		return value.Null
+	}
+	keys := make([]string, 0, n)
+	for k := range s.distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	switch spec.Func {
+	case plan.AggMin:
+		return s.distinct[keys[0]]
+	case plan.AggMax:
+		return s.distinct[keys[n-1]]
+	case plan.AggSum, plan.AggAvg:
+		sum := s.distinct[keys[0]]
+		for _, k := range keys[1:] {
+			sum = value.Add(sum, s.distinct[k])
+		}
+		if spec.Func == plan.AggAvg {
+			return value.Div(sum, value.NewInt(int64(n)))
+		}
+		return sum
 	}
 	return value.Null
 }
@@ -143,6 +182,11 @@ type aggCore struct {
 	spills  []map[string]*aggGroup
 	Spilled bool
 	buf     []byte
+	// noMem disables grant checks and memory accounting: morsel-partial
+	// cores use it so per-morsel duplicates of a group are never charged
+	// — the gather re-allocates each merged group once on the query
+	// tracker, reproducing the serial build's MemPeak exactly.
+	noMem bool
 }
 
 func newAggCore(ctx *Context, a *plan.Agg) *aggCore {
@@ -164,14 +208,16 @@ func (c *aggCore) add(row value.Row) {
 		for i, slot := range c.a.GroupSlots {
 			keys[i] = row[slot]
 		}
-		w := int64(keys.Width() + groupOverhead + 48*len(c.a.Specs))
-		if c.ctx.overGrant(w) {
-			c.spill()
+		if !c.noMem {
+			w := int64(keys.Width() + groupOverhead + 48*len(c.a.Specs))
+			if c.ctx.overGrant(w) {
+				c.spill()
+			}
+			c.ctx.Tr.Alloc(w)
+			c.bytes += w
 		}
 		g = &aggGroup{keys: keys, states: make([]aggState, len(c.a.Specs))}
 		c.groups[string(c.buf)] = g
-		c.ctx.Tr.Alloc(w)
-		c.bytes += w
 	}
 	for i := range c.a.Specs {
 		spec := &c.a.Specs[i]
@@ -354,7 +400,18 @@ type batchHashAgg struct {
 	pos  int
 }
 
-func newBatchHashAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (*batchHashAgg, error) {
+// aggScanDirectRows aggregates a batch-capable scan straight from its
+// batch source and returns the finished output rows (shared by the row
+// and batch spines so both produce identical rows and Metrics).
+// Parallel-marked plans take the morsel-partial path at every worker
+// count — the fold structure is part of the simulated plan, so the
+// real worker count never changes results or metrics.
+func aggScanDirectRows(ctx *Context, a *plan.Agg, scan *plan.Scan) ([]value.Row, error) {
+	if rows, ok, err := morselScanAggRows(ctx, a, scan); err != nil {
+		return nil, err
+	} else if ok {
+		return rows, nil
+	}
 	src, err := newCSIBatchSource(ctx, scan, nil)
 	if err != nil {
 		return nil, err
@@ -385,7 +442,7 @@ func newBatchHashAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (*batchHashAgg,
 			core.add(scratch)
 		}
 	}
-	return &batchHashAgg{rows: core.finish()}, nil
+	return core.finish(), nil
 }
 
 func (c *batchHashAgg) Next() (value.Row, bool) {
@@ -465,5 +522,3 @@ func (c *streamAggCursor) emit() value.Row {
 	c.cur = nil
 	return out
 }
-
-var _ = fmt.Sprintf

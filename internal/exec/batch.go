@@ -1,0 +1,512 @@
+// The batch spine: the executor's primary pipeline. Operators pull
+// SlotBatch units (typed column vectors plus a selection vector, or a
+// materialized row run at the fringes) through BatchCursor trees, so
+// the selection vectors produced by the columnstore scan kernels flow
+// end-to-end instead of being rematerialized at the first row-mode
+// parent — the MonetDB/X100-style vectorization behind the paper's
+// batch-mode CPU asymmetry.
+//
+// Row-mode survives as thin fringes: B+ tree seeks and heap scans
+// (rowBatchAdapter), merge and nested-loop joins, stream aggregation,
+// and bare TOP without a blocking child (which must preserve
+// row-at-a-time early termination). Everything else — filter, project,
+// hash join build/probe, sort, hash aggregation, TOP above a blocking
+// operator — runs vectorized.
+//
+// Virtual-clock discipline: every batch operator issues the exact
+// charge multiset its row-mode counterpart issues, including the
+// batch-to-row adapter charge at columnstore scans. The batch spine is
+// a real-CPU optimization, not a simulated one: Metrics are
+// bit-identical across the two spines (the spine differential test
+// asserts this), while wall-clock time drops because typed vectors
+// replace per-row value.Value boxing, map-of-Clone hash tables, and
+// per-row interface calls.
+//
+// Ownership: columnar batches are borrowed — valid only until the
+// producer's next NextBatch call (producers reuse vectors and
+// selection buffers; see vec.SelPool). Blocking consumers copy out.
+// Row-layout batches carry freshly materialized rows and are owned by
+// the consumer. The bufalias analyzer enforces that reused batch
+// buffers do not escape their owner except through NextBatch itself.
+package exec
+
+import (
+	"fmt"
+
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/vec"
+)
+
+// BatchCursor produces SlotBatches. A returned batch is valid until
+// the next NextBatch call on the same cursor (columnar layout) or
+// owned by the caller (row layout).
+type BatchCursor interface {
+	NextBatch() (*SlotBatch, bool)
+}
+
+// SlotBatch is the unit of batch-mode data flow: either a columnar
+// vec.Batch whose vectors are mapped to composite-row slots, or a run
+// of materialized rows (fringe adapters, aggregate/project/sort
+// output). Exactly one layout is active: Rows != nil selects the row
+// layout.
+type SlotBatch struct {
+	B     *vec.Batch
+	Slots []int // per vector: composite slot, or -1 (hidden uid)
+	Rows  []value.Row
+}
+
+// Len returns the number of live rows.
+func (sb *SlotBatch) Len() int {
+	if sb.Rows != nil {
+		return len(sb.Rows)
+	}
+	return sb.B.Len()
+}
+
+// evalRow returns a composite row for expression evaluation over live
+// ordinal i: the stored row directly in row layout, otherwise scratch
+// with the batch's populated slots filled. Slots no vector populates
+// must already be NULL in scratch (they stay untouched).
+func (sb *SlotBatch) evalRow(i int, scratch value.Row) value.Row {
+	if sb.Rows != nil {
+		return sb.Rows[i]
+	}
+	p := sb.B.LiveIndex(i)
+	for vi, slot := range sb.Slots {
+		if slot >= 0 {
+			scratch[slot] = sb.B.Cols[vi].Value(p)
+		}
+	}
+	return scratch
+}
+
+// rowWidth returns the in-memory width the row spine would charge for
+// live ordinal i materialized as a composite row: populated slots at
+// their value widths plus one NULL-marker byte per empty slot.
+func (sb *SlotBatch) rowWidth(i, totalSlots int) int {
+	if sb.Rows != nil {
+		return sb.Rows[i].Width()
+	}
+	p := sb.B.LiveIndex(i)
+	w, populated := 0, 0
+	for vi, slot := range sb.Slots {
+		if slot < 0 {
+			continue
+		}
+		populated++
+		w += sb.B.Cols[vi].ValueWidth(p)
+	}
+	return w + (totalSlots - populated)
+}
+
+// materializeRows converts the batch's live rows to composite rows
+// carved from one backing array per batch (the allocation discipline
+// of colstore.ScanRows). Row-layout batches return their rows as-is.
+func (sb *SlotBatch) materializeRows(totalSlots int) []value.Row {
+	if sb.Rows != nil {
+		return sb.Rows
+	}
+	n := sb.B.Len()
+	backing := make([]value.Value, n*totalSlots)
+	rows := make([]value.Row, n)
+	for i := 0; i < n; i++ {
+		p := sb.B.LiveIndex(i)
+		row := backing[i*totalSlots : (i+1)*totalSlots : (i+1)*totalSlots]
+		for vi, slot := range sb.Slots {
+			if slot >= 0 {
+				row[slot] = sb.B.Cols[vi].Value(p)
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// rowFringe reports whether a plan node executes in row mode with the
+// batch spine active: its whole subtree is delegated to the row-mode
+// Build and adapted back to batches at the boundary.
+func rowFringe(n plan.Node) bool {
+	switch v := n.(type) {
+	case *plan.Scan:
+		return v.Access != plan.AccessCSIScan
+	case *plan.Join:
+		return v.Strategy != plan.JoinHash
+	case *plan.Agg:
+		return v.Strategy == plan.AggStream
+	case *plan.Top:
+		// A bare TOP terminates its input early row by row; batching it
+		// would overrun the row spine's charge multiset on the final
+		// partial batch. Above a blocking operator the input is fully
+		// drained either way, so TOP batches safely.
+		return !blockingBelow(v.Input)
+	}
+	return false
+}
+
+// blockingBelow reports whether the pipeline below n contains an
+// operator that drains its input completely before emitting (sort or
+// hash aggregation), following the streaming path the way
+// optimizer.markParallel does.
+func blockingBelow(n plan.Node) bool {
+	switch v := n.(type) {
+	case *plan.Sort:
+		return true
+	case *plan.Agg:
+		return v.Strategy != plan.AggStream
+	case *plan.Filter:
+		return blockingBelow(v.Input)
+	case *plan.Project:
+		return blockingBelow(v.Input)
+	case *plan.Join:
+		if v.Strategy == plan.JoinHash {
+			// The probe side streams through the join.
+			return blockingBelow(v.Inner)
+		}
+		return false
+	case *plan.Top:
+		return blockingBelow(v.Input)
+	}
+	return false
+}
+
+// countBatchOperators counts the batch-native operators of a plan for
+// the batch_operators trace attribute (rowFringe subtrees and their
+// children count as zero).
+func countBatchOperators(n plan.Node) int64 {
+	if rowFringe(n) {
+		return 0
+	}
+	switch v := n.(type) {
+	case *plan.Root:
+		return countBatchOperators(v.Input)
+	case *plan.Scan:
+		return 1
+	case *plan.Filter:
+		return 1 + countBatchOperators(v.Input)
+	case *plan.Project:
+		return 1 + countBatchOperators(v.Input)
+	case *plan.Sort:
+		return 1 + countBatchOperators(v.Input)
+	case *plan.Top:
+		return 1 + countBatchOperators(v.Input)
+	case *plan.Agg:
+		return 1 + countBatchOperators(v.Input)
+	case *plan.Join:
+		return 1 + countBatchOperators(v.Outer) + countBatchOperators(v.Inner)
+	}
+	return 0
+}
+
+// BuildBatch constructs the batch-cursor tree for a plan node,
+// mirroring Build's trace wiring: one TraceNode per operator,
+// construction deltas included. Row-fringe subtrees delegate to Build
+// (which traces them itself) and are wrapped in a rowBatchAdapter.
+func BuildBatch(ctx *Context, n plan.Node) (BatchCursor, error) {
+	if root, ok := n.(*plan.Root); ok {
+		return BuildBatch(ctx, root.Input)
+	}
+	if rowFringe(n) {
+		k := -1
+		if ctx.Trace != nil {
+			k = len(ctx.Trace.Children)
+		}
+		cur, err := Build(ctx, n)
+		if err != nil {
+			return nil, err
+		}
+		ad := &rowBatchAdapter{in: cur}
+		if k >= 0 && k < len(ctx.Trace.Children) {
+			ad.tn = ctx.Trace.Children[k]
+		}
+		return ad, nil
+	}
+	if ctx.Trace == nil {
+		return buildBatchNode(ctx, n)
+	}
+	parent := ctx.Trace
+	tn := parent.Child(n.Describe())
+	tn.Loops = 1
+	ctx.Trace = tn
+	b0, t0 := ctx.Tr.BytesRead, ctx.Tr.ExecTime()
+	cur, err := buildBatchNode(ctx, n)
+	tn.BytesRead += ctx.Tr.BytesRead - b0
+	tn.Time += ctx.Tr.ExecTime() - t0
+	ctx.Trace = parent
+	if err != nil {
+		return nil, err
+	}
+	_, selfBatches := cur.(*batchScanCursor)
+	if _, ok := cur.(*gatherBatchCursor); ok {
+		selfBatches = true // per-morsel sources counted batches already
+	}
+	return &traceBatchCursor{ctx: ctx, tn: tn, in: cur, selfBatches: selfBatches}, nil
+}
+
+func buildBatchNode(ctx *Context, n plan.Node) (BatchCursor, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return newBatchScan(ctx, node)
+	case *plan.Filter:
+		in, err := BuildBatch(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchFilter(ctx, in, node.Conds), nil
+	case *plan.Join:
+		return newBatchHashJoin(ctx, node)
+	case *plan.Agg:
+		return buildBatchAgg(ctx, node)
+	case *plan.Project:
+		in, err := BuildBatch(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchProject(ctx, in, node.Exprs), nil
+	case *plan.Sort:
+		in, err := BuildBatch(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchSort(ctx, in, node.Keys)
+	case *plan.Top:
+		in, err := BuildBatch(ctx, node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &batchTop{in: in, n: node.N}, nil
+	case *plan.Root:
+		return BuildBatch(ctx, node.Input)
+	}
+	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+}
+
+// traceBatchCursor mirrors traceCursor for batch operators: emitted
+// live rows, batch counts, and the subtree's byte/time deltas.
+type traceBatchCursor struct {
+	ctx *Context
+	tn  *metrics.TraceNode
+	in  BatchCursor
+	// selfBatches marks operators whose underlying source already
+	// counts batches on this node (columnstore scans, as in row mode).
+	selfBatches bool
+}
+
+func (c *traceBatchCursor) NextBatch() (*SlotBatch, bool) {
+	b0, t0 := c.ctx.Tr.BytesRead, c.ctx.Tr.ExecTime()
+	sb, ok := c.in.NextBatch()
+	c.tn.BytesRead += c.ctx.Tr.BytesRead - b0
+	c.tn.Time += c.ctx.Tr.ExecTime() - t0
+	if ok {
+		c.tn.Rows += int64(sb.Len())
+		if !c.selfBatches {
+			c.tn.Batches++
+		}
+	}
+	return sb, ok
+}
+
+// rowBatchAdapter lifts a row-mode fringe cursor into the batch spine.
+// Rows arrive already materialized (each fringe cursor allocates its
+// own output rows), so the adaptation is free of virtual-clock
+// charges; the adapter_rows attribute records the row-mode traffic
+// crossing the boundary.
+type rowBatchAdapter struct {
+	in      Cursor
+	tn      *metrics.TraceNode
+	adapted int64
+	out     SlotBatch
+}
+
+func (a *rowBatchAdapter) NextBatch() (*SlotBatch, bool) {
+	var rows []value.Row
+	for len(rows) < vec.BatchSize {
+		r, ok := a.in.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return nil, false
+	}
+	a.adapted += int64(len(rows))
+	if a.tn != nil {
+		a.tn.SetAttr("adapter_rows", a.adapted)
+	}
+	a.out = SlotBatch{Rows: rows}
+	return &a.out, true
+}
+
+// rowsBatchCursor emits a materialized row run in batch-sized chunks
+// (aggregate and sort output).
+type rowsBatchCursor struct {
+	rows []value.Row
+	pos  int
+	out  SlotBatch
+}
+
+func (c *rowsBatchCursor) NextBatch() (*SlotBatch, bool) {
+	if c.pos >= len(c.rows) {
+		return nil, false
+	}
+	end := c.pos + vec.BatchSize
+	if end > len(c.rows) {
+		end = len(c.rows)
+	}
+	c.out = SlotBatch{Rows: c.rows[c.pos:end]}
+	c.pos = end
+	return &c.out, true
+}
+
+// batchScanCursor is the serial columnstore leaf of the batch spine:
+// it forwards the batch source's output with slot mapping, charging
+// the same composite-row boundary cost as the row-mode csiCursor so
+// both spines price plan shapes identically (the batch spine's win is
+// real CPU, not simulated CPU).
+type batchScanCursor struct {
+	ctx   *Context
+	src   *csiBatchSource
+	slots []int
+	out   SlotBatch
+}
+
+// scanSlots maps a batch source's vectors to composite slots (-1 for
+// the hidden uid column).
+func scanSlots(s *plan.Scan, src *csiBatchSource) []int {
+	schemaLen := s.Table.Schema.Len()
+	slots := make([]int, len(src.cols))
+	for vi, ord := range src.cols {
+		if ord < schemaLen {
+			slots[vi] = s.SlotBase + ord
+		} else {
+			slots[vi] = -1
+		}
+	}
+	return slots
+}
+
+func newBatchScan(ctx *Context, s *plan.Scan) (BatchCursor, error) {
+	if cur, ok, err := newParallelBatchScan(ctx, s); err != nil {
+		return nil, err
+	} else if ok {
+		return cur, nil
+	}
+	src, err := newCSIBatchSource(ctx, s, nil)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Trace != nil {
+		// ctx.Trace is this scan's own node; the wrapping
+		// traceBatchCursor accounts rows, bytes, and time, so the source
+		// only adds batch counts and rowgroup-elimination attributes —
+		// exactly the serial csiCursor split.
+		src.tn = ctx.Trace
+	}
+	return &batchScanCursor{ctx: ctx, src: src, slots: scanSlots(s, src)}, nil
+}
+
+func (c *batchScanCursor) NextBatch() (*SlotBatch, bool) {
+	b, ok := c.src.next()
+	if !ok {
+		return nil, false
+	}
+	m := c.ctx.Tr.Model
+	c.ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(b.Len()), m.RowCPU/4), 1.0)
+	c.out = SlotBatch{B: b, Slots: c.slots}
+	return &c.out, true
+}
+
+// gatherBatchCursor replays morsel-gathered owned batches in morsel
+// order (identical to the serial batch order).
+type gatherBatchCursor struct {
+	batches []*SlotBatch
+	pos     int
+}
+
+func (c *gatherBatchCursor) NextBatch() (*SlotBatch, bool) {
+	if c.pos >= len(c.batches) {
+		return nil, false
+	}
+	b := c.batches[c.pos]
+	c.pos++
+	return b, true
+}
+
+// newParallelBatchScan runs a Parallel-marked CSI scan morsel-driven
+// for the batch spine, gathering owned (compacted) batches in morsel
+// order. Returns ok=false when the scan must stay serial.
+func newParallelBatchScan(ctx *Context, s *plan.Scan) (BatchCursor, bool, error) {
+	_, morsels, ok := parallelizableScan(ctx, s.Parallel, s)
+	if !ok {
+		return nil, false, nil
+	}
+	w := ctx.Workers
+	if w > len(morsels) {
+		w = len(morsels)
+	}
+	outs := make([][]*SlotBatch, len(morsels))
+	workerGroups := make([]int64, w)
+	var morselTNs []*metrics.TraceNode
+	if ctx.Trace != nil {
+		morselTNs = make([]*metrics.TraceNode, len(morsels))
+	}
+	err := runWorkers(ctx, w, len(morsels), func(wi, mi int, wctx *Context) error {
+		src, err := newCSIBatchSource(wctx, s, &morsels[mi])
+		if err != nil {
+			return err
+		}
+		if morselTNs != nil {
+			// Batch counts and rowgroup stats per morsel; rows, bytes, and
+			// time stay with the wrapping traceBatchCursor, as in the
+			// serial path (construction deltas carry the fork work).
+			morselTNs[mi] = &metrics.TraceNode{}
+			src.tn = morselTNs[mi]
+		}
+		outs[mi] = drainScanBatches(wctx, s, src)
+		workerGroups[wi] += int64(src.sc.GroupsScanned)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	annotate(ctx.Trace, morselTNs, w, workerGroups)
+	var all []*SlotBatch
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return &gatherBatchCursor{batches: all}, true, nil
+}
+
+// drainScanBatches drains a morsel's batch source into owned,
+// compacted batches, charging the same per-batch boundary cost as the
+// serial batch leaf. Batch boundaries are preserved, so the charge
+// multiset and downstream batch counts match a serial scan exactly.
+func drainScanBatches(ctx *Context, s *plan.Scan, src *csiBatchSource) []*SlotBatch {
+	m := ctx.Tr.Model
+	slots := scanSlots(s, src)
+	var out []*SlotBatch
+	for {
+		b, ok := src.next()
+		if !ok {
+			return out
+		}
+		n := b.Len()
+		ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), m.RowCPU/4), 1.0)
+		kinds := make([]value.Kind, len(b.Cols))
+		for i, c := range b.Cols {
+			kinds[i] = c.Kind
+		}
+		ob := vec.NewBatch(kinds)
+		for i := 0; i < n; i++ {
+			p := b.LiveIndex(i)
+			for vi := range b.Cols {
+				ob.Cols[vi].AppendFrom(b.Cols[vi], p)
+			}
+		}
+		ob.SetLen(n)
+		out = append(out, &SlotBatch{B: ob, Slots: slots})
+	}
+}

@@ -1,0 +1,436 @@
+package exec
+
+import (
+	"hybriddb/internal/colstore"
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/plan"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/vec"
+)
+
+// batchHashJoin is the batch-spine hash join. The build side is drained
+// into a columnar store (typed vectors, one growable column per
+// populated slot) keyed by an int64 map when the join key is
+// integer-backed — value.EncodeKey carries no kind tag for int-payload
+// kinds, so the raw payload is the same key the row-mode table hashes.
+// Probe batches stream through, emitting columnar output batches when
+// both sides are columnar and composite rows otherwise.
+//
+// Charge parity with the row-mode hashJoinCursor is exact: the probe
+// subtree is constructed before the build drain (grant-aware blocking
+// operators below the probe side allocate and release before build
+// memory is held), each non-null build row allocates Width()+32 then
+// charges HashCPU, each probe row charges HashCPU before its null
+// check, residual conjuncts evaluate uncharged, and the build memory is
+// freed when the last output has been emitted.
+type batchHashJoin struct {
+	ctx *Context
+	j   *plan.Join
+
+	// Build store: columnar (store/storeSlots) or composite rows
+	// (storeRows), decided on the first build batch.
+	store      []*vec.Vec
+	storeSlots []int
+	storeRows  []value.Row
+	nStore     int
+
+	// Exactly one table is populated; both nil when the build side is
+	// empty (probes then charge and miss, as in row mode).
+	itable map[int64][]int32
+	htable map[string][]int32
+
+	bytes int64
+	freed bool
+
+	probe BatchCursor // serial probe input (nil when fused)
+	st    *probeState
+
+	fused    bool
+	gathered []*SlotBatch
+	gpos     int
+}
+
+// probeState is the per-prober scratch: serial probing has one, each
+// fused morsel worker gets its own.
+type probeState struct {
+	scratch value.Row
+	buf     []byte
+
+	keyRes bool
+	keyVi  int // probe-batch vector carrying the join key, -1 if absent
+
+	// Columnar-output plumbing, resolved against the first columnar
+	// probe batch (slot mappings are stable across a producer's batches).
+	colInit  bool
+	colOut   bool
+	probeSrc []int // probe vector index per probe-side output column
+	outSlots []int
+	kinds    []value.Kind
+	outB     *vec.Batch
+
+	// owned marks fused-probe states: emitted batches must survive past
+	// the next probeOne call, so output vectors are not reused.
+	owned bool
+}
+
+func newBatchHashJoin(ctx *Context, j *plan.Join) (BatchCursor, error) {
+	c := &batchHashJoin{ctx: ctx, j: j}
+	build, err := BuildBatch(ctx, j.Outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Probe side next, before the build drain — the row-mode constructor
+	// order. The fused morsel probe (Parallel-marked join over a
+	// parallelizable CSI probe scan) skips cursor construction entirely:
+	// per-morsel sources feed probeOne directly after the build.
+	var fusedScan *plan.Scan
+	var fusedMorsels []colstore.ScanPartition
+	if scan, ok := j.Inner.(*plan.Scan); ok && scan.Access == plan.AccessCSIScan && j.Parallel {
+		if _, ms, pok := parallelizableScan(ctx, scan.Parallel, scan); pok {
+			fusedScan, fusedMorsels = scan, ms
+		}
+	}
+	if fusedScan == nil {
+		if c.probe, err = BuildBatch(ctx, j.Inner); err != nil {
+			return nil, err
+		}
+		c.st = c.newProbeState(false)
+	}
+
+	m := ctx.Tr.Model
+	var buf []byte
+	first := true
+	colStore := false
+	keyVi := -1
+	var storeSrc []int // build vector index per store column
+	for {
+		sb, ok := build.NextBatch()
+		if !ok {
+			break
+		}
+		if first {
+			first = false
+			if sb.Rows == nil {
+				keyVi = slotVec(sb.Slots, j.LeftSlot)
+				colStore = keyVi >= 0
+			}
+			if colStore {
+				for vi, slot := range sb.Slots {
+					if slot < 0 {
+						continue
+					}
+					c.store = append(c.store, vec.NewVec(sb.B.Cols[vi].Kind))
+					c.storeSlots = append(c.storeSlots, slot)
+					storeSrc = append(storeSrc, vi)
+				}
+				if intBacked(sb.B.Cols[keyVi].Kind) {
+					c.itable = make(map[int64][]int32)
+				} else {
+					c.htable = make(map[string][]int32)
+				}
+			} else {
+				c.htable = make(map[string][]int32)
+			}
+		}
+		if colStore {
+			kv := sb.B.Cols[keyVi]
+			n := sb.Len()
+			for i := 0; i < n; i++ {
+				p := sb.B.LiveIndex(i)
+				if kv.IsNull(p) {
+					continue
+				}
+				if c.itable != nil {
+					c.itable[kv.I[p]] = append(c.itable[kv.I[p]], int32(c.nStore))
+				} else {
+					buf = value.EncodeKey(buf[:0], kv.Value(p))
+					c.htable[string(buf)] = append(c.htable[string(buf)], int32(c.nStore))
+				}
+				for si, vi := range storeSrc {
+					c.store[si].AppendFrom(sb.B.Cols[vi], p)
+				}
+				c.nStore++
+				w := int64(sb.rowWidth(i, ctx.TotalSlots) + 32)
+				ctx.Tr.Alloc(w)
+				c.bytes += w
+				ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU), 1.0)
+			}
+			continue
+		}
+		for _, row := range sb.materializeRows(ctx.TotalSlots) {
+			k := row[j.LeftSlot]
+			if k.IsNull() {
+				continue
+			}
+			buf = value.EncodeKey(buf[:0], k)
+			c.htable[string(buf)] = append(c.htable[string(buf)], int32(len(c.storeRows)))
+			c.storeRows = append(c.storeRows, row)
+			w := int64(row.Width() + 32)
+			ctx.Tr.Alloc(w)
+			c.bytes += w
+			ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU), 1.0)
+		}
+	}
+
+	if fusedScan != nil {
+		if err := c.fusedProbe(fusedScan, fusedMorsels); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *batchHashJoin) newProbeState(owned bool) *probeState {
+	return &probeState{scratch: make(value.Row, c.ctx.TotalSlots), keyVi: -1, owned: owned}
+}
+
+func (c *batchHashJoin) NextBatch() (*SlotBatch, bool) {
+	if c.fused {
+		if c.gpos < len(c.gathered) {
+			sb := c.gathered[c.gpos]
+			c.gpos++
+			return sb, true
+		}
+		c.release()
+		return nil, false
+	}
+	for {
+		sb, ok := c.probe.NextBatch()
+		if !ok {
+			c.release()
+			return nil, false
+		}
+		if out := c.probeOne(c.ctx.Tr, sb, c.st); out != nil {
+			return out, true
+		}
+	}
+}
+
+// release frees the build-side memory once, when the last output has
+// been emitted — the row-mode Free point, so MemPeak interleaving with
+// downstream allocations is identical.
+func (c *batchHashJoin) release() {
+	if c.freed {
+		return
+	}
+	c.freed = true
+	c.ctx.Tr.Free(c.bytes)
+	c.bytes = 0
+}
+
+// probeOne probes one input batch against the build table, returning an
+// output batch of joined rows, or nil when no probe row survived.
+func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeState) *SlotBatch {
+	m := tr.Model
+	if sb.Rows == nil && !st.keyRes {
+		st.keyRes = true
+		st.keyVi = slotVec(sb.Slots, c.j.RightSlot)
+	}
+	if sb.Rows == nil && st.keyVi < 0 {
+		// Key column not decoded in this batch shape: fall back to
+		// composite rows for the whole batch.
+		sb = &SlotBatch{Rows: sb.materializeRows(c.ctx.TotalSlots)}
+	}
+	if sb.Rows == nil && c.store != nil && !st.colInit {
+		st.colInit = true
+		st.colOut = true
+		for _, v := range c.store {
+			st.kinds = append(st.kinds, v.Kind)
+		}
+		st.outSlots = append(st.outSlots, c.storeSlots...)
+		for vi, slot := range sb.Slots {
+			if slot < 0 {
+				continue
+			}
+			if slotVec(c.storeSlots, slot) >= 0 {
+				// A probe slot shadows a build slot (overlap): only the
+				// row path reproduces the overlay semantics exactly.
+				st.colOut = false
+				break
+			}
+			st.probeSrc = append(st.probeSrc, vi)
+			st.kinds = append(st.kinds, sb.B.Cols[vi].Kind)
+			st.outSlots = append(st.outSlots, slot)
+		}
+		if !st.colOut {
+			st.probeSrc, st.outSlots, st.kinds = nil, nil, nil
+		}
+	}
+	colOut := sb.Rows == nil && c.store != nil && st.colOut
+
+	var outB *vec.Batch
+	outCount := 0
+	if colOut {
+		if st.outB == nil || st.owned {
+			st.outB = vec.NewBatch(st.kinds)
+		} else {
+			st.outB.Reset()
+		}
+		outB = st.outB
+	}
+	var rows []value.Row
+	nStoreCols := len(c.store)
+	n := sb.Len()
+	for i := 0; i < n; i++ {
+		tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU), 1.0)
+		var matches []int32
+		var probeRow value.Row
+		var p int
+		if sb.Rows != nil {
+			probeRow = sb.Rows[i]
+			k := probeRow[c.j.RightSlot]
+			if k.IsNull() {
+				continue
+			}
+			if c.itable != nil {
+				matches = c.itable[k.Int()]
+			} else {
+				st.buf = value.EncodeKey(st.buf[:0], k)
+				matches = c.htable[string(st.buf)]
+			}
+		} else {
+			p = sb.B.LiveIndex(i)
+			kv := sb.B.Cols[st.keyVi]
+			if kv.IsNull(p) {
+				continue
+			}
+			if c.itable != nil {
+				matches = c.itable[kv.I[p]]
+			} else {
+				st.buf = value.EncodeKey(st.buf[:0], kv.Value(p))
+				matches = c.htable[string(st.buf)]
+			}
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		if colOut {
+			for _, idx := range matches {
+				if len(c.j.Residual) > 0 {
+					for si, slot := range c.storeSlots {
+						st.scratch[slot] = c.store[si].Value(int(idx))
+					}
+					for _, vi := range st.probeSrc {
+						st.scratch[sb.Slots[vi]] = sb.B.Cols[vi].Value(p)
+					}
+					if !passes(c.ctx, c.j.Residual, st.scratch) {
+						continue
+					}
+				}
+				for si := 0; si < nStoreCols; si++ {
+					outB.Cols[si].AppendFrom(c.store[si], int(idx))
+				}
+				for k, vi := range st.probeSrc {
+					outB.Cols[nStoreCols+k].AppendFrom(sb.B.Cols[vi], p)
+				}
+				outCount++
+			}
+			continue
+		}
+		for _, idx := range matches {
+			var out value.Row
+			if c.storeRows != nil {
+				out = c.storeRows[idx].Clone()
+			} else {
+				out = make(value.Row, c.ctx.TotalSlots)
+				for si, slot := range c.storeSlots {
+					out[slot] = c.store[si].Value(int(idx))
+				}
+			}
+			if probeRow != nil {
+				for s2, v := range probeRow {
+					if !v.IsNull() {
+						out[s2] = v
+					}
+				}
+			} else {
+				for vi, slot := range sb.Slots {
+					if slot < 0 {
+						continue
+					}
+					if v := sb.B.Cols[vi].Value(p); !v.IsNull() {
+						out[slot] = v
+					}
+				}
+			}
+			if !passes(c.ctx, c.j.Residual, out) {
+				continue
+			}
+			rows = append(rows, out)
+		}
+	}
+	if colOut {
+		if outCount == 0 {
+			return nil
+		}
+		outB.SetLen(outCount)
+		return &SlotBatch{B: outB, Slots: st.outSlots}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	return &SlotBatch{Rows: rows}
+}
+
+// fusedProbe runs the probe scan morsel-driven, probing each morsel's
+// batches against the (read-only) build table on the worker and
+// gathering owned output batches in morsel order — the serial emission
+// order. The probe charges land on worker forks; sums are unchanged, so
+// Metrics match a serial probe bit for bit.
+func (c *batchHashJoin) fusedProbe(scan *plan.Scan, morsels []colstore.ScanPartition) error {
+	ctx := c.ctx
+	c.fused = true
+	w := ctx.Workers
+	if w > len(morsels) {
+		w = len(morsels)
+	}
+	var stn *metrics.TraceNode
+	var morselTNs []*metrics.TraceNode
+	if ctx.Trace != nil {
+		// The probe scan never becomes a cursor, so it gets its own child
+		// node assembled from per-morsel nodes that own their rows,
+		// bytes, and time — as in the morsel-partial aggregation.
+		stn = ctx.Trace.Child(scan.Describe())
+		stn.Loops = 1
+		morselTNs = make([]*metrics.TraceNode, len(morsels))
+	}
+	outs := make([][]*SlotBatch, len(morsels))
+	workerGroups := make([]int64, w)
+	err := runWorkers(ctx, w, len(morsels), func(wi, mi int, wctx *Context) error {
+		src, err := newCSIBatchSource(wctx, scan, &morsels[mi])
+		if err != nil {
+			return err
+		}
+		if morselTNs != nil {
+			morselTNs[mi] = &metrics.TraceNode{}
+			src.tn = morselTNs[mi]
+			src.timed = true
+		}
+		slots := scanSlots(scan, src)
+		st := c.newProbeState(true)
+		m := wctx.Tr.Model
+		for {
+			b, ok := src.next()
+			if !ok {
+				break
+			}
+			wctx.Tr.ChargeParallelCPU(vclock.CPU(int64(b.Len()), m.RowCPU/4), 1.0)
+			sb := SlotBatch{B: b, Slots: slots}
+			if out := c.probeOne(wctx.Tr, &sb, st); out != nil {
+				outs[mi] = append(outs[mi], out)
+			}
+		}
+		workerGroups[wi] += int64(src.sc.GroupsScanned)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	annotate(stn, morselTNs, w, workerGroups)
+	for _, o := range outs {
+		c.gathered = append(c.gathered, o...)
+	}
+	return nil
+}

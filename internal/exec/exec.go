@@ -1,9 +1,14 @@
-// Package exec runs physical plans. Row-mode operators pull composite
-// rows through Cursor trees; columnstore scans run in batch mode
-// (vectorized over vec.Batch with selection vectors) and are either
-// consumed directly by batch-mode aggregation or adapted to rows for
-// row-mode parents — mirroring SQL Server's split between batch-mode
-// and row-mode execution that drives the paper's CPU asymmetries.
+// Package exec runs physical plans. The primary spine is batch mode:
+// operators pull SlotBatch units (typed vectors plus selection vector,
+// or materialized row runs) through BatchCursor trees, with row mode
+// demoted to thin fringes — B+ tree seeks, heap scans, merge and
+// nested-loop joins, stream aggregation, bare TOP — adapted at the
+// boundary (see batch.go). The legacy row spine (Cursor trees pulling
+// composite rows) remains available via RunOptions.RowMode and for DML;
+// both spines issue the identical virtual-clock charge multiset, so
+// Metrics are bit-identical while the batch spine wins real CPU —
+// mirroring SQL Server's batch-mode/row-mode split that drives the
+// paper's CPU asymmetries.
 package exec
 
 import (
@@ -65,39 +70,77 @@ type RunOptions struct {
 	// Workers is the real goroutine budget for morsel-driven parallel
 	// operators; <= 1 executes the plan serially.
 	Workers int
+	// RowMode selects the legacy row-at-a-time spine instead of the
+	// batch spine. Results and Metrics are bit-identical either way;
+	// only real CPU time differs.
+	RowMode bool
 }
 
-// Run executes a plan to completion.
-func Run(tr *vclock.Tracker, root *plan.Root, totalSlots int) (*Result, error) {
-	return RunWith(tr, root, totalSlots, RunOptions{})
-}
-
-// RunTraced executes a plan to completion, attaching a per-operator
-// trace tree under tn when it is non-nil (EXPLAIN ANALYZE).
-func RunTraced(tr *vclock.Tracker, root *plan.Root, totalSlots int, tn *metrics.TraceNode) (*Result, error) {
-	return RunWith(tr, root, totalSlots, RunOptions{Trace: tn})
-}
-
-// RunWith executes a plan to completion with explicit options.
-func RunWith(tr *vclock.Tracker, root *plan.Root, totalSlots int, opts RunOptions) (*Result, error) {
+// Execute runs a plan to completion. It is the single executor entry
+// point; the batch spine is the default, with RunOptions selecting
+// tracing, real parallelism, and the legacy row spine.
+func Execute(tr *vclock.Tracker, root *plan.Root, totalSlots int, opts RunOptions) (*Result, error) {
 	ctx := &Context{Tr: tr, Grant: root.MemGrant, TotalSlots: totalSlots,
 		DOP: root.DOP, Workers: opts.Workers, Trace: opts.Trace}
 	tr.SetDOP(root.DOP)
-	cur, err := Build(ctx, root.Input)
-	if err != nil {
-		return nil, err
-	}
 	res := &Result{Columns: root.Columns}
-	for {
-		row, ok := cur.Next()
-		if !ok {
-			break
+	if opts.RowMode {
+		cur, err := Build(ctx, root.Input)
+		if err != nil {
+			return nil, err
 		}
-		res.Rows = append(res.Rows, row)
+		for {
+			row, ok := cur.Next()
+			if !ok {
+				break
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	} else {
+		cur, err := BuildBatch(ctx, root.Input)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			sb, ok := cur.NextBatch()
+			if !ok {
+				break
+			}
+			if sb.Rows != nil {
+				res.Rows = append(res.Rows, sb.Rows...)
+			} else {
+				res.Rows = append(res.Rows, sb.materializeRows(totalSlots)...)
+			}
+		}
+		if opts.Trace != nil && len(opts.Trace.Children) > 0 {
+			opts.Trace.Children[0].SetAttr("batch_operators", countBatchOperators(root.Input))
+		}
 	}
 	tr.RowsOut = int64(len(res.Rows))
 	res.Metrics = tr.Snapshot()
 	return res, nil
+}
+
+// Run executes a plan to completion.
+//
+// Deprecated: use Execute.
+func Run(tr *vclock.Tracker, root *plan.Root, totalSlots int) (*Result, error) {
+	return Execute(tr, root, totalSlots, RunOptions{})
+}
+
+// RunTraced executes a plan to completion, attaching a per-operator
+// trace tree under tn when it is non-nil (EXPLAIN ANALYZE).
+//
+// Deprecated: use Execute.
+func RunTraced(tr *vclock.Tracker, root *plan.Root, totalSlots int, tn *metrics.TraceNode) (*Result, error) {
+	return Execute(tr, root, totalSlots, RunOptions{Trace: tn})
+}
+
+// RunWith executes a plan to completion with explicit options.
+//
+// Deprecated: use Execute.
+func RunWith(tr *vclock.Tracker, root *plan.Root, totalSlots int, opts RunOptions) (*Result, error) {
+	return Execute(tr, root, totalSlots, opts)
 }
 
 // Build constructs the cursor tree for a plan node. With tracing

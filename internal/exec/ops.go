@@ -84,87 +84,108 @@ type sortCursor struct {
 	pos  int
 }
 
-func newSortCursor(ctx *Context, in Cursor, keys []plan.SortKey) (*sortCursor, error) {
-	m := ctx.Tr.Model
-	type run struct {
-		rows  []value.Row
-		bytes int64
-	}
-	var runs []run
-	var cur run
-	var totalRows int64
+// sortRunData is one (possibly spilled) sort run.
+type sortRunData struct {
+	rows  []value.Row
+	bytes int64
+}
 
-	sortRun := func(r []value.Row) {
-		sort.SliceStable(r, func(i, j int) bool {
-			for _, k := range keys {
-				a, b := sql.Eval(k.Expr, r[i]), sql.Eval(k.Expr, r[j])
-				c := value.Compare(a, b)
-				if k.Desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
+// rowSorter is the grant-aware sorting engine shared by the row- and
+// batch-mode sort operators: both spines add the same rows with the
+// same per-row memory accounting and finish through the same run
+// boundaries, so results, charges, and spill behaviour are identical.
+type rowSorter struct {
+	ctx  *Context
+	keys []plan.SortKey
+	runs []sortRunData
+	cur  sortRunData
+}
+
+func newRowSorter(ctx *Context, keys []plan.SortKey) *rowSorter {
+	return &rowSorter{ctx: ctx, keys: keys}
+}
+
+func (s *rowSorter) sortRun(r []value.Row) {
+	m := s.ctx.Tr.Model
+	sort.SliceStable(r, func(i, j int) bool {
+		for _, k := range s.keys {
+			a, b := sql.Eval(k.Expr, r[i]), sql.Eval(k.Expr, r[j])
+			c := value.Compare(a, b)
+			if k.Desc {
+				c = -c
 			}
-			return false
-		})
-		n := int64(len(r))
-		if n > 1 {
-			comparisons := n * int64(log2(n))
-			ctx.Tr.ChargeParallelCPU(vclock.CPU(comparisons*int64(len(keys)), m.SortCPU), 0.7)
+			if c != 0 {
+				return c < 0
+			}
 		}
+		return false
+	})
+	n := int64(len(r))
+	if n > 1 {
+		comparisons := n * int64(log2(n))
+		s.ctx.Tr.ChargeParallelCPU(vclock.CPU(comparisons*int64(len(s.keys)), m.SortCPU), 0.7)
 	}
+}
 
-	flushRun := func() {
-		if len(cur.rows) == 0 {
-			return
-		}
-		sortRun(cur.rows)
-		// Spill the run: temp write now, temp read at merge.
-		ctx.Tr.ChargeTempWrite(cur.bytes)
-		ctx.Tr.Free(cur.bytes)
-		runs = append(runs, cur)
-		cur = run{}
+func (s *rowSorter) flushRun() {
+	if len(s.cur.rows) == 0 {
+		return
 	}
+	s.sortRun(s.cur.rows)
+	// Spill the run: temp write now, temp read at merge.
+	s.ctx.Tr.ChargeTempWrite(s.cur.bytes)
+	s.ctx.Tr.Free(s.cur.bytes)
+	s.runs = append(s.runs, s.cur)
+	s.cur = sortRunData{}
+}
 
+// add appends one row (which the sorter retains) to the current run,
+// spilling first when the row would exceed the grant.
+func (s *rowSorter) add(row value.Row) {
+	w := int64(row.Width() + 24)
+	if s.ctx.overGrant(w) {
+		s.flushRun()
+	}
+	s.ctx.Tr.Alloc(w)
+	s.cur.rows = append(s.cur.rows, row)
+	s.cur.bytes += w
+}
+
+// finish sorts (in memory, or via external merge when runs spilled)
+// and returns the ordered rows.
+func (s *rowSorter) finish() []value.Row {
+	if len(s.runs) == 0 {
+		// Everything fit: in-memory sort.
+		s.sortRun(s.cur.rows)
+		s.ctx.Tr.Free(s.cur.bytes)
+		return s.cur.rows
+	}
+	// External merge: the last partial run spills too, then all runs are
+	// read back and merged.
+	s.flushRun()
+	var total int64
+	for _, r := range s.runs {
+		s.ctx.Tr.ChargeTempRead(r.bytes)
+		total += int64(len(r.rows))
+	}
+	merged := make([]value.Row, 0, total)
+	for _, r := range s.runs {
+		merged = append(merged, r.rows...)
+	}
+	s.sortRun(merged) // merge cost approximated as one more pass
+	return merged
+}
+
+func newSortCursor(ctx *Context, in Cursor, keys []plan.SortKey) (*sortCursor, error) {
+	s := newRowSorter(ctx, keys)
 	for {
 		row, ok := in.Next()
 		if !ok {
 			break
 		}
-		w := int64(row.Width() + 24)
-		if ctx.overGrant(w) {
-			flushRun()
-		}
-		ctx.Tr.Alloc(w)
-		cur.rows = append(cur.rows, row)
-		cur.bytes += w
-		totalRows++
+		s.add(row)
 	}
-
-	out := &sortCursor{}
-	if len(runs) == 0 {
-		// Everything fit: in-memory sort.
-		sortRun(cur.rows)
-		ctx.Tr.Free(cur.bytes)
-		out.rows = cur.rows
-		return out, nil
-	}
-	// External merge: the last partial run spills too, then all runs are
-	// read back and merged.
-	flushRun()
-	var total int64
-	for _, r := range runs {
-		ctx.Tr.ChargeTempRead(r.bytes)
-		total += int64(len(r.rows))
-	}
-	merged := make([]value.Row, 0, total)
-	for _, r := range runs {
-		merged = append(merged, r.rows...)
-	}
-	sortRun(merged) // merge cost approximated as one more pass
-	out.rows = merged
-	return out, nil
+	return &sortCursor{rows: s.finish()}, nil
 }
 
 func (c *sortCursor) Next() (value.Row, bool) {

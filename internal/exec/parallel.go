@@ -17,12 +17,18 @@
 //   - Output slots are indexed by morsel, and the delta morsel is
 //     ordered last, so gathered rows appear in exactly the serial scan
 //     order.
-//   - Partial aggregates merge with order-insensitive operations only
-//     (integer sums, min/max, count, distinct-set union); plans where a
-//     merge would be order-sensitive (float SUM/AVG) or multiset-
-//     dependent (DISTINCT under anything but COUNT/MIN/MAX) stay
-//     serial, as do scans of indexes with a pending delete buffer
-//     (a destructive anti-semi multiset that cannot be partitioned).
+//   - Partial aggregates are per-morsel (not per-worker) and merge in
+//     morsel-index order — a fold structure fixed by the plan, not by
+//     worker scheduling. Parallel-marked aggregations take this path at
+//     every worker count, including Workers=1, so order-sensitive
+//     merges (float SUM/AVG) produce the same bits at any parallelism.
+//     DISTINCT aggregates collect deduplicated value sets that merge by
+//     set union and are folded in encoded-key order at finalization
+//     (see aggState.finalDistinct) — deterministic for every aggregate
+//     function. The only data-state condition that still forces a scan
+//     serial is a pending delete buffer (a destructive anti-semi
+//     multiset consumed in physical scan order, which cannot be
+//     partitioned).
 //   - The gather merge itself is uncharged: the virtual cost of
 //     exchanges is already part of the DOP simulation
 //     (ParallelStartup + ChargeParallelCPU's exchange overhead).
@@ -40,7 +46,6 @@ import (
 	"hybriddb/internal/colstore"
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
-	"hybriddb/internal/sql"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
 )
@@ -66,10 +71,13 @@ func csiMorsels(idx *colstore.Index) []colstore.ScanPartition {
 	return ms
 }
 
-// parallelizableScan reports whether a CSI scan may run morsel-driven
-// under the current context, returning the index and morsel list.
-func parallelizableScan(ctx *Context, parallel bool, s *plan.Scan) (*colstore.Index, []colstore.ScanPartition, bool) {
-	if !parallel || ctx.Workers <= 1 || ctx.Grant != 0 {
+// morselizableScan reports whether a CSI scan decomposes into morsels
+// under the current context, independent of the real worker count.
+// Operators whose fold structure must not vary with Workers (the
+// morsel-partial aggregation) use this gate so the same morsel plan
+// runs inline at Workers=1 and on a worker pool otherwise.
+func morselizableScan(ctx *Context, parallel bool, s *plan.Scan) (*colstore.Index, []colstore.ScanPartition, bool) {
+	if !parallel || ctx.Grant != 0 {
 		return nil, nil, false
 	}
 	idx, err := resolveCSI(s)
@@ -81,6 +89,16 @@ func parallelizableScan(ctx *Context, parallel bool, s *plan.Scan) (*colstore.In
 		return nil, nil, false
 	}
 	return idx, morsels, true
+}
+
+// parallelizableScan additionally requires a real worker pool: scan
+// gathers produce identical output at any worker count, so they only
+// bother decomposing when extra goroutines exist.
+func parallelizableScan(ctx *Context, parallel bool, s *plan.Scan) (*colstore.Index, []colstore.ScanPartition, bool) {
+	if ctx.Workers <= 1 {
+		return nil, nil, false
+	}
+	return morselizableScan(ctx, parallel, s)
 }
 
 // runWorkers executes body over nMorsels morsels with w goroutines
@@ -222,7 +240,9 @@ func newParallelCSIScan(ctx *Context, s *plan.Scan) (Cursor, bool, error) {
 }
 
 // drainScanRows converts a batch source to composite rows, charging the
-// same batch-to-row adapter cost as the serial csiCursor.
+// same batch-to-row adapter cost as the serial csiCursor. Each batch's
+// rows are carved from one backing array (the allocation discipline of
+// colstore.ScanRows) instead of one make per row.
 func drainScanRows(ctx *Context, s *plan.Scan, src *csiBatchSource) ([]value.Row, []int64) {
 	m := ctx.Tr.Model
 	schemaLen := s.Table.Schema.Len()
@@ -235,9 +255,10 @@ func drainScanRows(ctx *Context, s *plan.Scan, src *csiBatchSource) ([]value.Row
 		}
 		n := b.Len()
 		ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), m.RowCPU/4), 1.0)
+		backing := make([]value.Value, n*ctx.TotalSlots)
 		for i := 0; i < n; i++ {
 			p := b.LiveIndex(i)
-			out := make(value.Row, ctx.TotalSlots)
+			out := backing[i*ctx.TotalSlots : (i+1)*ctx.TotalSlots : (i+1)*ctx.TotalSlots]
 			for vi, ord := range src.cols {
 				if ord < schemaLen {
 					out[s.SlotBase+ord] = b.Cols[vi].Value(p)
@@ -249,35 +270,18 @@ func drainScanRows(ctx *Context, s *plan.Scan, src *csiBatchSource) ([]value.Row
 	}
 }
 
-// parallelizableAggSpecs reports whether every aggregate in the plan
-// merges exactly across partials. Float SUM/AVG are excluded (float
-// addition is not associative, so a partial-merge order could diverge
-// from the serial fold order), as is DISTINCT under anything but
-// COUNT/MIN/MAX (COUNT recounts the merged distinct set; MIN/MAX are
-// unaffected by duplicates; SUM/AVG DISTINCT would double-add values
-// seen by several workers).
-func parallelizableAggSpecs(a *plan.Agg) bool {
-	for i := range a.Specs {
-		sp := &a.Specs[i]
-		if sp.Distinct && sp.Func != plan.AggCount && sp.Func != plan.AggMin && sp.Func != plan.AggMax {
-			return false
-		}
-		if (sp.Func == plan.AggSum || sp.Func == plan.AggAvg) && sp.Arg != nil && sql.ExprKind(sp.Arg) == value.KindFloat {
-			return false
-		}
-	}
-	return true
-}
-
-// newParallelBatchAgg runs a Parallel-marked batch hash aggregation
-// with per-worker partial hash tables over scan morsels, merged
-// deterministically at the gather point. Returns ok=false when the
-// plan must stay serial.
-func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bool, error) {
-	if !a.Parallel || !parallelizableAggSpecs(a) {
+// morselScanAggRows runs a Parallel-marked batch hash aggregation with
+// per-morsel partial hash tables, merged in morsel-index order at the
+// gather point. The morsel fold structure is part of the simulated
+// plan: it is used at every real worker count (inline at Workers<=1),
+// so order-sensitive merges — float SUM/AVG — and DISTINCT sets
+// produce identical bits at any parallelism. Returns ok=false when the
+// plan is not Parallel-marked or the scan does not decompose.
+func morselScanAggRows(ctx *Context, a *plan.Agg, scan *plan.Scan) ([]value.Row, bool, error) {
+	if !a.Parallel {
 		return nil, false, nil
 	}
-	_, morsels, ok := parallelizableScan(ctx, scan.Parallel, scan)
+	_, morsels, ok := morselizableScan(ctx, scan.Parallel, scan)
 	if !ok {
 		return nil, false, nil
 	}
@@ -285,10 +289,13 @@ func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bo
 	if w > len(morsels) {
 		w = len(morsels)
 	}
+	if w < 1 {
+		w = 1
+	}
 	var stn *metrics.TraceNode
 	var morselTNs []*metrics.TraceNode
 	if ctx.Trace != nil {
-		// The scan never becomes a cursor (per-worker sources feed the
+		// The scan never becomes a cursor (per-morsel sources feed the
 		// partial aggregates directly), so it gets its own trace node,
 		// assembled from per-morsel nodes that own their rows, bytes,
 		// and time — as in the serial batch-agg path.
@@ -296,15 +303,13 @@ func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bo
 		stn.Loops = 1
 		morselTNs = make([]*metrics.TraceNode, len(morsels))
 	}
-	wcores := make([]*aggCore, w)
-	scratches := make([]value.Row, w)
+	cores := make([]*aggCore, len(morsels))
 	workerGroups := make([]int64, w)
 	schemaLen := scan.Table.Schema.Len()
-	err := runWorkers(ctx, w, len(morsels), func(wi, mi int, wctx *Context) error {
-		if wcores[wi] == nil {
-			wcores[wi] = newAggCore(wctx, a)
-			scratches[wi] = make(value.Row, wctx.TotalSlots)
-		}
+	body := func(wi, mi int, wctx *Context) error {
+		core := newAggCore(wctx, a)
+		core.noMem = true
+		cores[mi] = core
 		src, err := newCSIBatchSource(wctx, scan, &morsels[mi])
 		if err != nil {
 			return err
@@ -314,7 +319,7 @@ func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bo
 			src.tn = morselTNs[mi]
 			src.timed = true
 		}
-		core, scratch := wcores[wi], scratches[wi]
+		scratch := make(value.Row, wctx.TotalSlots)
 		m := wctx.Tr.Model
 		pairs, fast := aggSlotCols(a, src)
 		for {
@@ -332,22 +337,29 @@ func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bo
 		}
 		workerGroups[wi] += int64(src.sc.GroupsScanned)
 		return nil
-	})
-	if err != nil {
-		return nil, false, err
+	}
+	if ctx.Workers > 1 {
+		if err := runWorkers(ctx, w, len(morsels), body); err != nil {
+			return nil, false, err
+		}
+	} else {
+		// Serial execution of the identical morsel plan: same sources,
+		// same charges (directly on the query tracker instead of summed
+		// through forks), same per-morsel partials.
+		for mi := range morsels {
+			if err := body(0, mi, ctx); err != nil {
+				return nil, false, err
+			}
+		}
 	}
 	annotate(stn, morselTNs, w, workerGroups)
 
-	// Gather: merge the partial hash tables into one. All merge
-	// operations are order-insensitive (see parallelizableAggSpecs), so
-	// the nondeterministic morsel-to-worker assignment cannot change the
-	// merged states.
+	// Gather: merge the per-morsel partials in morsel-index order. The
+	// fold order is fixed by the plan — never by which worker ran which
+	// morsel — so even non-associative float merges are deterministic.
 	main := newAggCore(ctx, a)
-	for _, wc := range wcores {
-		if wc == nil {
-			continue
-		}
-		for k, g := range wc.groups {
+	for _, mc := range cores {
+		for k, g := range mc.groups {
 			if mg, ok := main.groups[k]; ok {
 				for i := range a.Specs {
 					mg.states[i].merge(&g.states[i], &a.Specs[i])
@@ -358,20 +370,12 @@ func newParallelBatchAgg(ctx *Context, a *plan.Agg, scan *plan.Scan) (Cursor, bo
 		}
 	}
 	for _, g := range main.groups {
-		for i := range a.Specs {
-			sp := &a.Specs[i]
-			// merge sums counts, which over-counts distinct values seen by
-			// several workers; COUNT(DISTINCT) is the merged set's size.
-			if sp.Distinct && sp.Func == plan.AggCount {
-				g.states[i].count = int64(len(g.states[i].distinct))
-			}
-		}
-		// Re-allocate each merged group on the query tracker so MemPeak
-		// matches the serial build exactly (worker-fork peaks, merged by
-		// max, are subsets of this total).
+		// Allocate each merged group on the query tracker (morsel cores
+		// run memory-free so per-morsel duplicates of a group are never
+		// double-counted); MemPeak matches the serial build exactly.
 		gw := int64(g.keys.Width() + groupOverhead + 48*len(a.Specs))
 		ctx.Tr.Alloc(gw)
 		main.bytes += gw
 	}
-	return &batchHashAgg{rows: main.finish()}, true, nil
+	return main.finish(), true, nil
 }

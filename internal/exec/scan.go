@@ -260,9 +260,13 @@ func (c *csiCursor) Next() (value.Row, bool) {
 		// Batch-to-row adapter cost.
 		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(int64(n), m.RowCPU/4), 1.0)
 		c.rows, c.uids, c.pos = c.rows[:0], c.uids[:0], 0
+		// One backing array per batch (colstore.ScanRows discipline)
+		// instead of one allocation per row. Consumers may retain the
+		// rows; only the row headers in c.rows are reused.
+		backing := make([]value.Value, n*c.ctx.TotalSlots)
 		for i := 0; i < n; i++ {
 			p := b.LiveIndex(i)
-			out := make(value.Row, c.ctx.TotalSlots)
+			out := backing[i*c.ctx.TotalSlots : (i+1)*c.ctx.TotalSlots : (i+1)*c.ctx.TotalSlots]
 			for vi, ord := range c.src.cols {
 				if ord < schemaLen {
 					out[c.s.SlotBase+ord] = b.Cols[vi].Value(p)

@@ -218,42 +218,71 @@ func Optimize(res Resolver, b *sql.BoundSelect, opts Options) (*plan.Root, error
 
 // markParallel annotates which operators the executor may run with real
 // morsel-driven workers when the plan went parallel (DOP > 1). The
-// annotation is conservative: every eligible operator must be drained
-// to completion in a serial run too, or the virtual clock would diverge
-// between serial and parallel execution. Top (early termination) and
-// non-hash joins (merge join stops at the shorter input; NLJ restarts
-// its inner side per outer row) break that full-drain property, so any
-// plan containing them stays serial.
+// marking tracks drain guarantees per subtree instead of giving up on
+// whole plans: a morsel-driven operator must be guaranteed to run to
+// completion in a serial execution too, or the virtual clock would
+// diverge between serial and parallel runs. An operator is eligible
+// exactly when its consumer drains it fully — either because the
+// consumer is blocking (sort, hash aggregation, hash-join build) or
+// because nothing above terminates early. A bare TOP (no blocking
+// operator between it and the source) breaks the guarantee for the
+// pipeline below it; a nested-loop inner side restarts per outer row;
+// a merge join may stop at the shorter input.
 func markParallel(root *plan.Root) {
 	if root.DOP <= 1 {
 		return
 	}
-	eligible := true
-	plan.Walk(root.Input, func(n plan.Node) {
-		switch j := n.(type) {
-		case *plan.Top:
-			eligible = false
-		case *plan.Join:
-			if j.Strategy != plan.JoinHash {
-				eligible = false
-			}
+	markNode(root.Input, true)
+}
+
+// markNode walks the plan with the consumer's drain guarantee: drained
+// reports whether this subtree's output is always pulled to exhaustion.
+func markNode(n plan.Node, drained bool) {
+	switch v := n.(type) {
+	case *plan.Scan:
+		if v.Access == plan.AccessCSIScan && drained {
+			v.Parallel = true
 		}
-	})
-	if !eligible {
-		return
+	case *plan.Filter:
+		markNode(v.Input, drained)
+	case *plan.Project:
+		markNode(v.Input, drained)
+	case *plan.Sort:
+		// Blocking: the sort drains its input regardless of the consumer.
+		markNode(v.Input, true)
+	case *plan.Top:
+		// TOP terminates its input early (any blocking operator below
+		// restores the guarantee beneath itself).
+		markNode(v.Input, false)
+	case *plan.Agg:
+		if v.Strategy == plan.AggHash {
+			if v.BatchMode {
+				v.Parallel = true
+			}
+			markNode(v.Input, true)
+		} else {
+			// Stream aggregation emits per group and stops with its
+			// consumer.
+			markNode(v.Input, drained)
+		}
+	case *plan.Join:
+		switch v.Strategy {
+		case plan.JoinHash:
+			// The build side is always drained by the constructor; the
+			// probe side streams through and inherits the consumer's
+			// guarantee, as does the fused parallel probe itself.
+			v.Parallel = drained
+			markNode(v.Outer, true)
+			markNode(v.Inner, drained)
+		case plan.JoinNestedLoop:
+			// The inner side restarts per outer row: never morsel-driven.
+			markNode(v.Outer, drained)
+			markNode(v.Inner, false)
+		default: // merge join may stop at the shorter input
+			markNode(v.Outer, false)
+			markNode(v.Inner, false)
+		}
 	}
-	plan.Walk(root.Input, func(n plan.Node) {
-		switch v := n.(type) {
-		case *plan.Scan:
-			if v.Access == plan.AccessCSIScan {
-				v.Parallel = true
-			}
-		case *plan.Agg:
-			if v.Strategy == plan.AggHash && v.BatchMode {
-				v.Parallel = true
-			}
-		}
-	})
 }
 
 // nodeCost returns a node's cumulative estimated cost.

@@ -166,6 +166,9 @@ type Join struct {
 	LeftSlot  int  // equijoin slot in outer composite row
 	RightSlot int  // equijoin slot in inner composite row
 	Residual  []sql.Expr
+	// Parallel marks a hash join whose probe may run morsel-driven
+	// (the join output is guaranteed to be fully drained).
+	Parallel bool
 }
 
 // Children returns both inputs.

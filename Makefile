@@ -37,10 +37,12 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 	BENCH_JSON=$(CURDIR)/BENCH_parallel.json BENCH_KERNELS_JSON=$(CURDIR)/BENCH_kernels.json \
 		BENCH_BATCH_JSON=$(CURDIR)/BENCH_batch.json \
-		$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)' -run '^$$' .
+		$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture' -run '^$$' .
 
 # benchsmoke also runs the kernel-vs-naive benchmarks for one iteration:
 # each iteration asserts both paths select the identical row set, so the
-# differential check runs in CI without benchmark timing.
+# differential check runs in CI without benchmark timing. The query-
+# store capture benchmark likewise asserts fingerprint stability across
+# serial and parallel runs each iteration.
 benchsmoke:
-	$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture' -benchtime 1x -run '^$$' .

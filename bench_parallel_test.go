@@ -129,6 +129,27 @@ func benchWarning() string {
 	return ""
 }
 
+// benchEnv is the environment block shared by every BENCH_*.json
+// artifact: the schedulable CPU budget, the real worker counts the
+// suite exercised, and the scheduler-noise warning when the machine
+// cannot actually run the largest benchmarked DOP. Its fields inline
+// into each artifact's top level.
+type benchEnv struct {
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	WorkerCounts []int  `json:"worker_counts"`
+	Warning      string `json:"warning,omitempty"`
+}
+
+func currentBenchEnv(workerCounts []int) benchEnv {
+	return benchEnv{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		WorkerCounts: workerCounts,
+		Warning:      benchWarning(),
+	}
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
@@ -150,16 +171,13 @@ func TestMain(m *testing.M) {
 				benchRecords[i].Speedup = b / benchRecords[i].NsPerOp
 			}
 		}
-		warn := benchWarning()
-		if warn != "" {
+		if warn := benchWarning(); warn != "" {
 			fmt.Fprintf(os.Stderr, "warning: %s\n", warn)
 		}
 		out := struct {
-			GOMAXPROCS int                   `json:"gomaxprocs"`
-			NumCPU     int                   `json:"num_cpu"`
-			Warning    string                `json:"warning,omitempty"`
-			Results    []parallelBenchRecord `json:"results"`
-		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), warn, benchRecords}
+			benchEnv
+			Results []parallelBenchRecord `json:"results"`
+		}{currentBenchEnv(parallelDOPs), benchRecords}
 		benchMu.Unlock()
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err == nil {
@@ -198,11 +216,9 @@ func TestMain(m *testing.M) {
 			}
 		}
 		out := struct {
-			GOMAXPROCS int                `json:"gomaxprocs"`
-			NumCPU     int                `json:"num_cpu"`
-			Warning    string             `json:"warning,omitempty"`
-			Results    []batchBenchRecord `json:"results"`
-		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), benchWarning(), batchRecords}
+			benchEnv
+			Results []batchBenchRecord `json:"results"`
+		}{currentBenchEnv(batchDOPs), batchRecords}
 		benchMu.Unlock()
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err == nil {
@@ -229,11 +245,10 @@ func TestMain(m *testing.M) {
 			}
 		}
 		out := struct {
-			GOMAXPROCS int                 `json:"gomaxprocs"`
-			NumCPU     int                 `json:"num_cpu"`
-			Rows       int                 `json:"rows"`
-			Results    []kernelBenchRecord `json:"results"`
-		}{runtime.GOMAXPROCS(0), runtime.NumCPU(), kernelBenchRows, kernelRecords}
+			benchEnv
+			Rows    int                 `json:"rows"`
+			Results []kernelBenchRecord `json:"results"`
+		}{currentBenchEnv([]int{1}), kernelBenchRows, kernelRecords} // kernels run serial
 		benchMu.Unlock()
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err == nil {

@@ -1,0 +1,58 @@
+// Query-store capture benchmark: measures the per-statement overhead
+// of normalization + fingerprinting + stats folding, and doubles as a
+// differential check — every iteration replays the same statement
+// stream into two stores and asserts the fingerprint sets and JSONL
+// captures are identical, so capture determinism is exercised by
+// `make benchsmoke` on every CI run.
+package hybriddb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// captureRun replays a small mixed statement stream on a fresh
+// database with a query store and returns the JSONL capture.
+func captureRun(b *testing.B, workers int) []byte {
+	b.Helper()
+	db := Open(WithRowGroupSize(4096), WithParallelism(workers))
+	db.EnableQueryStore(QueryStoreOptions{})
+	mustRun := func(q string) {
+		if _, err := db.Exec(q); err != nil {
+			b.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustRun("CREATE TABLE qb (k BIGINT, grp BIGINT, v BIGINT, PRIMARY KEY (k))")
+	mustRun("CREATE NONCLUSTERED COLUMNSTORE INDEX qbcsi ON qb (grp, v)")
+	for i := 0; i < 8; i++ {
+		mustRun(fmt.Sprintf("INSERT INTO qb VALUES (%d, %d, %d)", i, i%3, i*10))
+	}
+	for i := 0; i < 10; i++ {
+		mustRun(fmt.Sprintf("SELECT sum(v) FROM qb WHERE grp = %d", i%3))
+		mustRun(fmt.Sprintf("SELECT v FROM qb WHERE k = %d", i))
+	}
+	mustRun("UPDATE qb SET v = 999 WHERE k = 1")
+	var buf bytes.Buffer
+	if err := db.ExportWorkloadCapture(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkQueryStoreCapture replays the stream twice per iteration —
+// serial and at 4 workers — and asserts bit-identical captures: the
+// fingerprint-stability contract from OBSERVABILITY.md, enforced at
+// benchsmoke cadence.
+func BenchmarkQueryStoreCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		serial := captureRun(b, 1)
+		parallel := captureRun(b, 4)
+		if !bytes.Equal(serial, parallel) {
+			b.Fatalf("capture differs between serial and 4-worker runs:\n%s\nvs\n%s", serial, parallel)
+		}
+		if len(serial) == 0 {
+			b.Fatal("empty capture")
+		}
+	}
+}

@@ -8,12 +8,19 @@
 //	\explain SQL  show the optimizer's plan
 //	\tables       list tables and row counts
 //	\metrics      dump the process metrics (Prometheus text format)
+//	\qstats       query-store top fingerprints by total virtual time
+//	\qexport PATH write the query store as a JSONL workload capture
 //
 // Flags:
 //
-//	-metrics addr   serve /metrics and /debug/vars on addr (e.g. :8080)
+//	-metrics addr   serve /metrics, /debug/vars, /debug/querystore on addr
 //	-slowlog path   append slow statements to path as JSON lines
 //	-slowms n       slow-query threshold in virtual milliseconds
+//
+// The query store is always on: every statement is normalized,
+// fingerprinted with its plan shape, and folded into cumulative
+// statistics (\qstats to inspect, \qexport to capture for the
+// advisor).
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 	flag.Parse()
 
 	db := hybriddb.Open()
+	db.EnableQueryStore(hybriddb.QueryStoreOptions{})
 	if *metricsAddr != "" {
 		if _, err := hybriddb.ServeMetrics(*metricsAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics server:", err)
@@ -108,6 +116,21 @@ func meta(db *hybriddb.DB, cmd string) bool {
 		}
 	case cmd == "\\metrics":
 		fmt.Print(hybriddb.MetricsText())
+	case cmd == "\\qstats":
+		qstats(db)
+	case strings.HasPrefix(cmd, "\\qexport "):
+		path := strings.TrimSpace(strings.TrimPrefix(cmd, "\\qexport "))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if err := db.ExportWorkloadCapture(f); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("capture written to", path)
+		}
+		f.Close()
 	case strings.HasPrefix(cmd, "\\explain "):
 		plan, err := db.Explain(strings.TrimPrefix(cmd, "\\explain "))
 		if err != nil {
@@ -119,6 +142,28 @@ func meta(db *hybriddb.DB, cmd string) bool {
 		fmt.Println("unknown command", cmd)
 	}
 	return true
+}
+
+// qstats prints the query store's fingerprints, heaviest first by
+// cumulative virtual execution time.
+func qstats(db *hybriddb.DB) {
+	stats := db.QueryStats()
+	if len(stats) == 0 {
+		fmt.Println("query store is empty")
+		return
+	}
+	sort.SliceStable(stats, func(i, j int) bool {
+		return stats[i].ExecTotalUS > stats[j].ExecTotalUS
+	})
+	fmt.Printf("%-16s %-8s %6s %6s %10s %10s %8s\n",
+		"FINGERPRINT", "KIND", "CALLS", "ERRS", "EXEC", "ROWS", "READ MB")
+	for _, s := range stats {
+		fmt.Printf("%-16s %-8s %6d %6d %10s %10d %8.2f\n",
+			s.Fingerprint, s.Kind, s.Calls, s.Errors,
+			time.Duration(s.ExecTotalUS)*time.Microsecond, s.RowsOut,
+			float64(s.DataRead)/1e6)
+		fmt.Printf("    %s\n", s.NormSQL)
+	}
 }
 
 func run(db *hybriddb.DB, stmt string) {

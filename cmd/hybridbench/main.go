@@ -7,6 +7,10 @@
 //	hybridbench -quick              # reduced scale (fast smoke run)
 //	hybridbench -list               # list experiment IDs
 //	hybridbench -metrics :8080      # also serve /metrics while running
+//	hybridbench -capture out.jsonl  # capture-and-tune demo: run the CH
+//	                                # analytics once with a query store,
+//	                                # export the capture, feed it back to
+//	                                # the advisor, print the DDL
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 
 	"hybriddb"
 	"hybriddb/internal/experiments"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/workload"
 )
 
 func main() {
@@ -25,12 +31,20 @@ func main() {
 		quick       = flag.Bool("quick", false, "reduced data scale for fast runs")
 		list        = flag.Bool("list", false, "list experiment IDs and exit")
 		metricsAddr = flag.String("metrics", "", "serve /metrics on this address while running (empty = off)")
+		capturePath = flag.String("capture", "", "run the capture-and-tune demo, writing the workload capture to this path")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *capturePath != "" {
+		if err := captureAndTune(*capturePath, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "capture: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -63,6 +77,59 @@ func main() {
 		}
 	}
 	printCounters()
+}
+
+// captureAndTune demonstrates the query-store → advisor loop: run the
+// CH analytic queries against an untuned CH database with a query
+// store attached, export the capture to path, then feed the capture
+// back to the advisor and print the recommended DDL.
+func captureAndTune(path string, quick bool) error {
+	cfg := workload.DefaultCH()
+	if quick {
+		cfg.Warehouses = 1
+		cfg.OrdersPerD = 100
+	}
+	fmt.Println("building CH database...")
+	db := hybriddb.Wrap(workload.BuildCH(vclock.DefaultModel(vclock.DRAM), cfg))
+	db.EnableQueryStore(hybriddb.QueryStoreOptions{})
+
+	queries := workload.CHQueries()
+	fmt.Printf("capturing %d CH analytic queries...\n", len(queries))
+	for _, q := range queries {
+		if _, err := db.Exec(q); err != nil {
+			return fmt.Errorf("CH query: %w", err)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.ExportWorkloadCapture(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("capture written to %s (%d fingerprints)\n", path, len(db.QueryStats()))
+
+	g, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	start := time.Now()
+	rec, err := db.TuneFromCapture(g, hybriddb.TuneOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("advisor on captured workload (%v): estimated %.1fx improvement\n",
+		time.Since(start).Round(time.Millisecond), rec.Improvement())
+	for i, p := range rec.Indexes {
+		fmt.Println("  " + p.DDL(fmt.Sprintf("dta_%s_%d", p.Table, i+1)))
+	}
+	return nil
 }
 
 // printCounters summarizes the engine's cumulative observability

@@ -27,6 +27,7 @@
 package hybriddb
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -36,6 +37,7 @@ import (
 	"hybriddb/internal/engine"
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
+	"hybriddb/internal/querystore"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
 )
@@ -177,9 +179,59 @@ func (db *DB) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
 	db.inner.SetSlowQueryLog(w, threshold)
 }
 
+// QueryStoreOptions bound the query store's retention (fingerprints,
+// ring-buffer size, trace sampling interval); the zero value uses
+// defaults.
+type QueryStoreOptions = querystore.Options
+
+// QueryStats is one fingerprint's cumulative statistics.
+type QueryStats = querystore.QueryStats
+
+// EnableQueryStore starts capturing every statement into a query
+// store: statements are normalized (literals parameterized),
+// fingerprinted together with their plan shape, and folded into
+// per-fingerprint cumulative statistics with a ring buffer of recent
+// executions. The store also registers itself at /debug/querystore on
+// servers started by ServeMetrics afterwards. Store contents are a
+// deterministic function of the statement sequence — bit-identical
+// run-to-run and at any parallelism setting.
+func (db *DB) EnableQueryStore(opts QueryStoreOptions) {
+	s := db.inner.EnableQueryStore(opts)
+	metrics.Handle("/debug/querystore", s)
+}
+
+// QueryStats snapshots the query store's per-fingerprint statistics
+// (nil when EnableQueryStore has not been called).
+func (db *DB) QueryStats() []QueryStats { return db.inner.QueryStats() }
+
+// ExportWorkloadCapture writes the query store's contents as a
+// replayable JSONL workload trace (see OBSERVABILITY.md for the
+// format). TuneFromCapture consumes the same stream.
+func (db *DB) ExportWorkloadCapture(w io.Writer) error {
+	s := db.inner.QueryStore()
+	if s == nil {
+		return errNoQueryStore
+	}
+	return s.ExportJSONL(w)
+}
+
+var errNoQueryStore = fmt.Errorf("hybriddb: query store not enabled (call EnableQueryStore first)")
+
+// TuneFromCapture runs the design advisor over a captured workload
+// trace (the output of ExportWorkloadCapture): each fingerprint
+// becomes one weighted workload statement.
+func (db *DB) TuneFromCapture(r io.Reader, opts TuneOptions) (*Recommendation, error) {
+	w, err := advisor.FromCapture(r)
+	if err != nil {
+		return nil, err
+	}
+	return advisor.Tune(db.inner, w, opts)
+}
+
 // ServeMetrics starts an HTTP server on addr exposing the process-wide
-// metrics registry at /metrics (Prometheus text format) and /debug/vars
-// (expvar). Returns the server for shutdown.
+// metrics registry at /metrics (Prometheus text format), /debug/vars
+// (expvar), and — when a query store is enabled — /debug/querystore.
+// Returns the server for shutdown.
 func ServeMetrics(addr string) (*http.Server, error) { return metrics.Serve(addr) }
 
 // MetricsText renders the process-wide metrics registry in Prometheus

@@ -1,0 +1,55 @@
+package advisor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hybriddb/internal/querystore"
+)
+
+// FromCapture turns a query-store JSONL capture (querystore
+// ExportJSONL) into an advisor workload: one statement per captured
+// fingerprint whose kind the advisor can cost (SELECT and DML), with
+// the call count as the weight. Statements keep the capture's
+// fingerprint order, which is deterministic, so tuning observed
+// traffic replays identically. EXPLAIN, DDL, and error-only
+// fingerprints are skipped — they carry no tunable cost.
+func FromCapture(r io.Reader) (Workload, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var w Workload
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var q querystore.CaptureQuery
+		if err := json.Unmarshal(line, &q); err != nil {
+			return nil, fmt.Errorf("advisor: capture line %d: %w", lineNo, err)
+		}
+		if q.Type != "query" || !tunableKind(q.Kind) {
+			continue
+		}
+		if q.Calls <= q.Errors { // never succeeded: nothing to cost
+			continue
+		}
+		w = append(w, Statement{SQL: q.SQL, Weight: float64(q.Calls - q.Errors)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("advisor: reading capture: %w", err)
+	}
+	return w, nil
+}
+
+// tunableKind reports statement kinds the advisor costs.
+func tunableKind(kind string) bool {
+	switch kind {
+	case "select", "insert", "update", "delete":
+		return true
+	}
+	return false
+}

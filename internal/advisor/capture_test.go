@@ -1,0 +1,104 @@
+package advisor
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/querystore"
+	"hybriddb/internal/vclock"
+	"hybriddb/internal/workload"
+)
+
+// TestFromCapture checks the JSONL filter: query lines with tunable
+// kinds become weighted statements; the header, exec lines, EXPLAIN,
+// DDL, and error-only fingerprints are skipped.
+func TestFromCapture(t *testing.T) {
+	capture := strings.Join([]string{
+		`{"type":"capture","version":1,"queries":6,"executions":9}`,
+		`{"type":"query","fingerprint":"0a","kind":"select","sql":"SELECT a FROM t WHERE a = 1","norm_sql":"SELECT a FROM t WHERE a = ?","calls":5,"exec_total_us":10,"rows_out":5}`,
+		`{"type":"query","fingerprint":"0b","kind":"update","sql":"UPDATE t SET a = 2","calls":3,"errors":1,"exec_total_us":4,"rows_out":0}`,
+		`{"type":"query","fingerprint":"0c","kind":"explain","sql":"EXPLAIN SELECT a FROM t","calls":1,"exec_total_us":1,"rows_out":3}`,
+		`{"type":"query","fingerprint":"0d","kind":"create_index","sql":"CREATE NONCLUSTERED INDEX ix ON t (a)","calls":1,"exec_total_us":9,"rows_out":0}`,
+		`{"type":"query","fingerprint":"0e","kind":"select","sql":"SELECT broken","calls":2,"errors":2,"exec_total_us":0,"rows_out":0}`,
+		``,
+		`{"type":"exec","seq":1,"fingerprint":"0a","kind":"select","exec_us":2}`,
+	}, "\n")
+	w, err := FromCapture(strings.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Workload{
+		{SQL: "SELECT a FROM t WHERE a = 1", Weight: 5},
+		{SQL: "UPDATE t SET a = 2", Weight: 2}, // calls minus errors
+	}
+	if !reflect.DeepEqual(w, want) {
+		t.Fatalf("workload = %+v, want %+v", w, want)
+	}
+
+	if _, err := FromCapture(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed capture accepted")
+	}
+}
+
+// TestCaptureEquivalence is the acceptance criterion: tuning a
+// captured CH workload must recommend the same indexes as tuning the
+// equivalent hand-constructed workload.
+func TestCaptureEquivalence(t *testing.T) {
+	cfg := workload.CHConfig{
+		Warehouses:    1,
+		DistrictsPerW: 4,
+		CustomersPerD: 60,
+		ItemCount:     400,
+		OrdersPerD:    80,
+		Seed:          21,
+		RowGroupSize:  4096,
+	}
+	queries := workload.CHQueries()
+
+	// Run the analytic queries once each against a CH database with a
+	// query store attached, then export the capture.
+	model := vclock.DefaultModel(vclock.DRAM)
+	capDB := workload.BuildCH(model, cfg)
+	capDB.EnableQueryStore(querystore.Options{})
+	for _, q := range queries {
+		if _, err := capDB.Exec(q); err != nil {
+			t.Fatalf("CH query failed: %v\n%s", err, q)
+		}
+	}
+	var buf bytes.Buffer
+	if err := capDB.QueryStore().ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	captured, err := FromCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != len(queries) {
+		t.Fatalf("captured %d statements, want %d", len(captured), len(queries))
+	}
+
+	var hand Workload
+	for _, q := range queries {
+		hand = append(hand, Statement{SQL: q, Weight: 1})
+	}
+
+	opts := Options{}
+	recCaptured, err := Tune(workload.BuildCH(model, cfg), captured, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recHand, err := Tune(workload.BuildCH(model, cfg), hand, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recCaptured.Indexes, recHand.Indexes) {
+		t.Fatalf("captured workload tunes differently:\ncaptured: %+v\nhand:     %+v",
+			recCaptured.Indexes, recHand.Indexes)
+	}
+	if len(recCaptured.Indexes) == 0 {
+		t.Fatal("CH workload produced no recommendations")
+	}
+}

@@ -3,8 +3,10 @@
 // rows must not depend on Go's randomized map iteration order or on
 // wall-clock time.
 //
-// Two rules, both scoped to the execution-critical packages exec,
-// colstore, and optimizer (matched by import-path element so the
+// Two rules, both scoped to the determinism-critical packages exec,
+// colstore, optimizer, and querystore — the query store promises
+// bit-identical contents run-to-run, so its snapshots and exports are
+// order-sensitive sinks too (matched by import-path element so the
 // fixture mirrors exercise the same code):
 //
 //  1. A `range` over a map whose body feeds an order-sensitive sink —
@@ -32,7 +34,7 @@ import (
 )
 
 // restricted lists the import-path elements the rules apply to.
-var restricted = map[string]bool{"exec": true, "colstore": true, "optimizer": true}
+var restricted = map[string]bool{"exec": true, "colstore": true, "optimizer": true, "querystore": true}
 
 // wallClock lists the banned time package functions.
 var wallClock = map[string]bool{

@@ -1,0 +1,47 @@
+// Package querystore mirrors hybriddb/internal/querystore for the
+// determinism fixtures: the store promises bit-identical snapshots and
+// exports run-to-run, so per-fingerprint aggregation must restore a
+// total order whenever it drains its maps.
+package querystore
+
+import (
+	"sort"
+	"time"
+)
+
+// QueryStats mirrors one fingerprint's folded statistics.
+type QueryStats struct {
+	Fingerprint string
+	Calls       int64
+}
+
+// Store mirrors the fingerprint map.
+type Store struct {
+	entries map[uint64]*QueryStats
+}
+
+// snapshotUnsorted drains the fingerprint map in iteration order: the
+// snapshot would differ run to run.
+func (s *Store) snapshotUnsorted() []QueryStats {
+	out := make([]QueryStats, 0, len(s.entries))
+	for _, e := range s.entries { // want `rows accumulated in map iteration order escape this function without a sort`
+		out = append(out, *e)
+	}
+	return out
+}
+
+// snapshotSorted restores fingerprint order before returning: clean.
+func (s *Store) snapshotSorted() []QueryStats {
+	out := make([]QueryStats, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// stampWallClock reads the wall clock while folding stats: captures
+// would not replay.
+func stampWallClock(q *QueryStats) int64 {
+	return q.Calls + time.Now().Unix() // want `wall-clock call time.Now in querystore: virtual time must come from vclock so measurements replay`
+}

@@ -56,3 +56,12 @@ func suppressed() *metrics.Counter {
 	//lint:ignore metricnames fixture: exercising the suppression syntax end to end
 	return metrics.NewCounter("LegacyFixtureName", "grandfathered dashboard dependency")
 }
+
+// Query-store counter registration mirrors internal/querystore: the
+// production names are constant snake_case, clean; a per-fingerprint
+// dynamic name would be unbounded cardinality and is caught.
+var mQSExec = metrics.NewCounter("hybriddb_fixture_querystore_executions_total", "statements folded into the query store")
+
+func perFingerprintCounter(fp string) *metrics.Counter {
+	return metrics.NewCounter("hybriddb_fixture_querystore_"+fp+"_total", "per-fingerprint calls") // want `not a compile-time constant`
+}

@@ -12,12 +12,14 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybriddb/internal/exec"
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/optimizer"
 	"hybriddb/internal/plan"
+	"hybriddb/internal/querystore"
 	"hybriddb/internal/sql"
 	"hybriddb/internal/storage"
 	"hybriddb/internal/table"
@@ -59,6 +61,11 @@ type Database struct {
 	slowMu        sync.Mutex
 	slowW         io.Writer
 	slowThreshold time.Duration
+
+	// qs, when non-nil, captures every statement execution into the
+	// query store (see internal/querystore). Atomic so readers under the
+	// shared lock never contend with EnableQueryStore.
+	qs atomic.Pointer[querystore.Store]
 }
 
 // New creates a database with the given cost model and buffer pool
@@ -94,6 +101,34 @@ func (db *Database) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
 	defer db.slowMu.Unlock()
 	db.slowW = w
 	db.slowThreshold = threshold
+}
+
+// EnableQueryStore attaches a query store: every statement executed
+// from now on is normalized, fingerprinted with its plan shape, and
+// folded into per-fingerprint statistics. Returns the store so callers
+// can export or serve it. Enabling the store forces per-operator
+// traces on SELECTs (virtual metrics are unaffected).
+func (db *Database) EnableQueryStore(opts querystore.Options) *querystore.Store {
+	s := querystore.New(opts)
+	db.qs.Store(s)
+	return s
+}
+
+// DisableQueryStore detaches the query store (existing contents stay
+// readable through the returned store, new executions are dropped).
+func (db *Database) DisableQueryStore() { db.qs.Store(nil) }
+
+// QueryStore returns the attached query store, or nil.
+func (db *Database) QueryStore() *querystore.Store { return db.qs.Load() }
+
+// QueryStats snapshots the query store's per-fingerprint statistics
+// (nil when no store is attached).
+func (db *Database) QueryStats() []querystore.QueryStats {
+	s := db.qs.Load()
+	if s == nil {
+		return nil
+	}
+	return s.Snapshot()
 }
 
 // CreateTable registers a new table. clusterKeys non-nil builds a
@@ -150,8 +185,9 @@ type Result struct {
 	Metrics      vclock.Metrics
 	Plan         *plan.Root
 	Locks        []LockDemand
-	// Trace is the per-operator execution trace (EXPLAIN ANALYZE only):
-	// a synthetic root whose children are the plan's operators.
+	// Trace is the per-operator execution trace: a synthetic root whose
+	// children are the plan's operators. Set for EXPLAIN ANALYZE, and
+	// for plain SELECTs while a query store is attached.
 	Trace *metrics.TraceNode
 }
 
@@ -255,6 +291,17 @@ func (db *Database) run(st sql.Statement, o ExecOptions, text string) (*Result, 
 	res, err := db.dispatch(st, o)
 	if err != nil {
 		mStmtErrors.Inc()
+		if qs := db.qs.Load(); qs != nil {
+			norm := normalizeStmt(st, text)
+			qs.Record(querystore.Execution{
+				SQL:    displayText(st, text),
+				Norm:   norm,
+				Kind:   stmtKind(st),
+				Shape:  "Error", // bind/exec failed: no plan to shape
+				Err:    true,
+				Stages: querystore.Stages{Parse: parseCost(text)},
+			})
+		}
 		return nil, err
 	}
 	db.observe(st, res, text)
@@ -289,29 +336,156 @@ func (db *Database) dispatch(st sql.Statement, o ExecOptions) (*Result, error) {
 	return nil, fmt.Errorf("engine: unsupported statement %T", st)
 }
 
+// Virtual per-stage costs folded into query-store stage breakdowns.
+// Like every vclock constant these are model parameters, not
+// measurements: parse charges per statement byte, optimize per plan
+// node. Both are deterministic functions of the statement alone.
+const (
+	parseCPUPerByte    = 25.0 // virtual ns per SQL byte
+	optimizeCPUPerNode = 2 * time.Microsecond
+)
+
+// parseCost is the virtual parse-stage cost of a statement text.
+func parseCost(text string) time.Duration {
+	return vclock.CPU(int64(len(text)), parseCPUPerByte)
+}
+
+// displayText is the statement text stored as the fingerprint's sample
+// SQL (and in the slow-query log): the raw SQL when executed via Exec,
+// the statement's Go type when executed via ExecStmt.
+func displayText(st sql.Statement, text string) string {
+	if text == "" {
+		return fmt.Sprintf("%T", st)
+	}
+	return text
+}
+
+// normalizeStmt parameterizes the statement text for fingerprinting.
+// Statements executed without text (ExecStmt) fingerprint by type;
+// text the normalizer cannot lex falls back to the raw text.
+func normalizeStmt(st sql.Statement, text string) string {
+	if text == "" {
+		return fmt.Sprintf("%T", st)
+	}
+	norm, err := sql.Normalize(text)
+	if err != nil {
+		return text
+	}
+	return norm
+}
+
+// stmtKind classifies a statement for the query store.
+func stmtKind(st sql.Statement) string {
+	switch st.(type) {
+	case *sql.SelectStmt:
+		return "select"
+	case *sql.ExplainStmt:
+		return "explain"
+	case *sql.InsertStmt:
+		return "insert"
+	case *sql.UpdateStmt:
+		return "update"
+	case *sql.DeleteStmt:
+		return "delete"
+	case *sql.CreateTableStmt:
+		return "create_table"
+	case *sql.CreateIndexStmt:
+		return "create_index"
+	case *sql.DropIndexStmt:
+		return "drop_index"
+	case *sql.DropTableStmt:
+		return "drop_table"
+	}
+	return "other"
+}
+
+// stmtShape is the plan-shape half of the fingerprint: the constant-
+// free operator tree for planned statements (SELECT, EXPLAIN), a
+// target tag for DML/DDL, whose access-path choice is not part of the
+// statement's identity.
+func stmtShape(st sql.Statement, pl *plan.Root) string {
+	if pl != nil {
+		return plan.Shape(pl)
+	}
+	switch s := st.(type) {
+	case *sql.InsertStmt:
+		return "Insert(" + s.Table + ")"
+	case *sql.UpdateStmt:
+		return "Update(" + s.Table + ")"
+	case *sql.DeleteStmt:
+		return "Delete(" + s.Table + ")"
+	case *sql.CreateTableStmt:
+		return "CreateTable(" + s.Table + ")"
+	case *sql.CreateIndexStmt:
+		return "CreateIndex(" + s.Table + "." + s.Name + ")"
+	case *sql.DropIndexStmt:
+		return "DropIndex(" + s.Table + "." + s.Name + ")"
+	case *sql.DropTableStmt:
+		return "DropTable(" + s.Table + ")"
+	}
+	return fmt.Sprintf("%T", st)
+}
+
+// stmtStages assembles the per-stage virtual time breakdown. LockWait
+// stays zero until admission control lands (ROADMAP item 1).
+func stmtStages(text string, pl *plan.Root, m vclock.Metrics) querystore.Stages {
+	st := querystore.Stages{Parse: parseCost(text), Exec: m.ExecTime}
+	if pl != nil {
+		nodes := 0
+		plan.Walk(pl.Input, func(plan.Node) { nodes++ })
+		st.Optimize = time.Duration(nodes) * optimizeCPUPerNode
+	}
+	return st
+}
+
 // observe feeds one successful statement's measurements into the
-// engine counters and, when enabled, the slow-query log.
+// engine counters, the query store, and the slow-query log.
 func (db *Database) observe(st sql.Statement, res *Result, text string) {
 	m := res.Metrics
 	mDataRead.Add(m.DataRead)
 	mDataWritten.Add(m.DataWrite)
 	mExecSeconds.Observe(m.ExecTime.Seconds())
 
+	qs := db.qs.Load()
+	db.slowMu.Lock()
+	slow := db.slowW != nil && db.slowThreshold > 0 && m.ExecTime >= db.slowThreshold
+	db.slowMu.Unlock()
+	if qs == nil && !slow {
+		return
+	}
+
+	norm := normalizeStmt(st, text)
+	shape := stmtShape(st, res.Plan)
+	fp := querystore.Fingerprint(norm, shape)
+	if qs != nil {
+		qs.Record(querystore.Execution{
+			SQL:          displayText(st, text),
+			Norm:         norm,
+			Kind:         stmtKind(st),
+			Shape:        shape,
+			Metrics:      m,
+			RowsAffected: res.RowsAffected,
+			Stages:       stmtStages(text, res.Plan, m),
+			Trace:        res.Trace,
+		})
+	}
+	if !slow {
+		return
+	}
+
 	db.slowMu.Lock()
 	defer db.slowMu.Unlock()
-	if db.slowW == nil || db.slowThreshold <= 0 || m.ExecTime < db.slowThreshold {
+	if db.slowW == nil { // raced with SetSlowQueryLog(nil, 0)
 		return
 	}
 	mSlowQueries.Inc()
-	if text == "" {
-		text = fmt.Sprintf("%T", st)
-	}
 	rows := m.Rows
 	if rows == 0 {
 		rows = res.RowsAffected
 	}
 	line, err := json.Marshal(map[string]any{
-		"stmt":        text,
+		"stmt":        displayText(st, text),
+		"fingerprint": querystore.FormatFingerprint(fp),
 		"exec_us":     m.ExecTime.Microseconds(),
 		"cpu_us":      m.CPUTime.Microseconds(),
 		"read_bytes":  m.DataRead,
@@ -408,8 +582,12 @@ func (db *Database) execSelect(s *sql.SelectStmt, o ExecOptions) (*Result, error
 		return nil, err
 	}
 	tr := vclock.NewTracker(db.model)
+	var trace *metrics.TraceNode
+	if db.qs.Load() != nil {
+		trace = &metrics.TraceNode{} // query store samples operator traces
+	}
 	res, err := exec.Execute(tr, root, bound.TotalSlots,
-		exec.RunOptions{Workers: db.workers(o), RowMode: o.RowMode})
+		exec.RunOptions{Trace: trace, Workers: db.workers(o), RowMode: o.RowMode})
 	if err != nil {
 		return nil, err
 	}
@@ -418,6 +596,7 @@ func (db *Database) execSelect(s *sql.SelectStmt, o ExecOptions) (*Result, error
 		Rows:    res.Rows,
 		Metrics: res.Metrics,
 		Plan:    root,
+		Trace:   trace,
 	}
 	for _, bt := range bound.Tables {
 		out.Locks = append(out.Locks, LockDemand{Table: bt.Ref.Table, Rows: tr.RowsOut + 1})

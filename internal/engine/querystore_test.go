@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/querystore"
+	"hybriddb/internal/value"
+)
+
+// qsWorkload builds a small hybrid schema and runs a mixed statement
+// stream against it: repeated parameterized SELECTs (scan, aggregate,
+// join), DML, DDL, and one statement that fails at bind time.
+func qsWorkload(t *testing.T, db *Database, o ExecOptions) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE qo (o_id BIGINT, o_cust BIGINT, o_amt BIGINT, PRIMARY KEY (o_id))", o)
+	mustExec(t, db, "CREATE TABLE ql (l_id BIGINT, l_order BIGINT, l_qty BIGINT, PRIMARY KEY (l_id))", o)
+	var orows, lrows []value.Row
+	for i := 0; i < 2000; i++ {
+		orows = append(orows, value.Row{
+			value.NewInt(int64(i)), value.NewInt(int64(i % 50)), value.NewInt(int64(i % 997)),
+		})
+	}
+	for i := 0; i < 8000; i++ {
+		lrows = append(lrows, value.Row{
+			value.NewInt(int64(i)), value.NewInt(int64(i % 2000)), value.NewInt(int64(i % 7)),
+		})
+	}
+	db.Table("qo").BulkLoad(nil, orows)
+	db.Table("ql").BulkLoad(nil, lrows)
+	mustExec(t, db, "CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON qo (o_cust, o_amt)", o)
+
+	for i := 0; i < 6; i++ {
+		mustExec(t, db, fmt.Sprintf("SELECT sum(o_amt) FROM qo WHERE o_cust = %d", i%3), o)
+	}
+	mustExec(t, db, "SELECT o_id, o_amt FROM qo WHERE o_id = 42", o)
+	mustExec(t, db, `SELECT o_cust, count(*) FROM qo JOIN ql ON o_id = l_order
+		WHERE o_cust = 3 GROUP BY o_cust`, o)
+	mustExec(t, db, "EXPLAIN ANALYZE SELECT count(*) FROM ql WHERE l_qty < 3", o)
+	mustExec(t, db, "INSERT INTO qo VALUES (90001, 1, 5), (90002, 2, 6)", o)
+	mustExec(t, db, "UPDATE qo SET o_amt = 9 WHERE o_id = 90001", o)
+	mustExec(t, db, "DELETE FROM qo WHERE o_id = 90002", o)
+	if _, err := db.Exec("SELECT nope FROM qo", o); err == nil {
+		t.Fatal("SELECT of unknown column should fail")
+	}
+}
+
+// TestQueryStoreDifferential is the acceptance criterion: query-store
+// contents (snapshot and JSONL export) are bit-identical across
+// repeated runs and across real worker counts 1, 2, 4, and 8.
+func TestQueryStoreDifferential(t *testing.T) {
+	type capture struct {
+		stats  []querystore.QueryStats
+		export string
+	}
+	run := func(workers int) capture {
+		db := newDB(t)
+		db.EnableQueryStore(querystore.Options{})
+		qsWorkload(t, db, ExecOptions{Parallelism: workers})
+		var buf bytes.Buffer
+		if err := db.QueryStore().ExportJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return capture{stats: db.QueryStats(), export: buf.String()}
+	}
+	base := run(1)
+	if len(base.stats) == 0 {
+		t.Fatal("query store captured nothing")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got.stats, base.stats) {
+			t.Errorf("snapshot differs at %d workers:\n%+v\nvs serial\n%+v",
+				workers, got.stats, base.stats)
+		}
+		if got.export != base.export {
+			t.Errorf("JSONL export differs at %d workers", workers)
+		}
+	}
+}
+
+// TestQueryStoreCapture checks folding, kinds, stage breakdowns, trace
+// ops, and error accounting on a single store.
+func TestQueryStoreCapture(t *testing.T) {
+	db := newDB(t)
+	db.EnableQueryStore(querystore.Options{})
+	qsWorkload(t, db, ExecOptions{})
+	stats := db.QueryStats()
+
+	byNorm := map[string]querystore.QueryStats{}
+	for _, s := range stats {
+		byNorm[s.NormSQL] = s
+	}
+	agg, ok := byNorm["SELECT SUM(o_amt) FROM qo WHERE o_cust = ?"]
+	if !ok {
+		var norms []string
+		for n := range byNorm {
+			norms = append(norms, n)
+		}
+		t.Fatalf("parameterized aggregate not folded; norms: %q", norms)
+	}
+	if agg.Calls != 6 || agg.Errors != 0 || agg.Kind != "select" {
+		t.Errorf("folded aggregate: %+v", agg)
+	}
+	if agg.ParseUS <= 0 || agg.OptimizeUS <= 0 || agg.ExecTotalUS <= 0 {
+		t.Errorf("stage breakdown missing: parse=%d optimize=%d exec=%d",
+			agg.ParseUS, agg.OptimizeUS, agg.ExecTotalUS)
+	}
+	if agg.LockWaitUS != 0 { // identically zero until admission control
+		t.Errorf("lock wait = %d, want 0", agg.LockWaitUS)
+	}
+	if len(agg.Ops) == 0 {
+		t.Errorf("no per-operator stats folded: %+v", agg)
+	}
+	var sawScanAttr bool
+	for _, op := range agg.Ops {
+		for _, a := range op.Attrs {
+			if strings.HasPrefix(a.Key, "worker") || a.Key == "parallel_workers" || a.Key == "morsels" {
+				t.Errorf("nondeterministic attr %q folded into %q", a.Key, op.Path)
+			}
+			if a.Key == "rowgroups_scanned" {
+				sawScanAttr = true
+			}
+		}
+	}
+	if !sawScanAttr {
+		t.Error("columnstore scan attrs missing from folded ops")
+	}
+
+	var errStats *querystore.QueryStats
+	for i := range stats {
+		if stats[i].Errors > 0 {
+			errStats = &stats[i]
+		}
+	}
+	if errStats == nil {
+		t.Fatal("failed statement not captured")
+	}
+	if errStats.PlanShape != "Error" || errStats.Calls != 1 {
+		t.Errorf("error stats: %+v", errStats)
+	}
+
+	for _, kind := range []string{"insert", "update", "delete", "create_table", "create_index", "explain"} {
+		found := false
+		for _, s := range stats {
+			if s.Kind == kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("kind %q not captured", kind)
+		}
+	}
+
+	recent := db.QueryStore().Recent()
+	if len(recent) == 0 {
+		t.Fatal("ring buffer empty")
+	}
+	var sampled int
+	for _, r := range recent {
+		if r.Trace != nil {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Error("no sampled traces in ring buffer")
+	}
+}
+
+// TestSlowQueryLogFingerprint (satellite: slow-log join) checks slow-
+// query log entries carry a fingerprint that joins against the query
+// store's statistics.
+func TestSlowQueryLogFingerprint(t *testing.T) {
+	db := newDB(t)
+	loadT(t, db, 20000, 10)
+	db.EnableQueryStore(querystore.Options{})
+	var buf bytes.Buffer
+	db.SetSlowQueryLog(&buf, 1) // 1ns: everything is slow
+	mustExec(t, db, "SELECT count(*) FROM t WHERE col2 = 3")
+	mustExec(t, db, "SELECT count(*) FROM t WHERE col2 = 7") // same fingerprint
+	mustExec(t, db, "UPDATE t SET col2 = 1 WHERE col1 = 5")
+	db.SetSlowQueryLog(nil, 0)
+
+	byFP := map[string]querystore.QueryStats{}
+	for _, s := range db.QueryStats() {
+		byFP[s.Fingerprint] = s
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var logged int
+	for sc.Scan() {
+		var rec struct {
+			Stmt        string `json:"stmt"`
+			Fingerprint string `json:"fingerprint"`
+			ExecUS      int64  `json:"exec_us"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		logged++
+		if rec.Fingerprint == "" {
+			t.Fatalf("slow-log line missing fingerprint: %s", sc.Text())
+		}
+		qs, ok := byFP[rec.Fingerprint]
+		if !ok {
+			t.Fatalf("slow-log fingerprint %s not in query store", rec.Fingerprint)
+		}
+		if !strings.HasPrefix(rec.Stmt, strings.SplitN(qs.SampleSQL, " WHERE", 2)[0]) {
+			t.Errorf("joined wrong query: log stmt %q vs store sample %q", rec.Stmt, qs.SampleSQL)
+		}
+	}
+	if logged != 3 {
+		t.Fatalf("logged %d statements, want 3", logged)
+	}
+
+	// The two parameterized SELECTs share one fingerprint with 2 calls.
+	selFP := querystore.FormatFingerprint(querystore.Fingerprint(
+		"SELECT COUNT(*) FROM t WHERE col2 = ?", byFP2SelShape(db.QueryStats())))
+	if qs, ok := byFP[selFP]; !ok || qs.Calls != 2 {
+		t.Errorf("folded SELECT fingerprint %s: %+v (ok=%v)", selFP, qs, ok)
+	}
+}
+
+// byFP2SelShape finds the plan shape of the folded count(*) SELECT.
+func byFP2SelShape(stats []querystore.QueryStats) string {
+	for _, s := range stats {
+		if s.NormSQL == "SELECT COUNT(*) FROM t WHERE col2 = ?" {
+			return s.PlanShape
+		}
+	}
+	return ""
+}
+
+// TestQueryStoreLatencyHistogram checks virtual latencies land in
+// deterministic histogram buckets.
+func TestQueryStoreLatencyHistogram(t *testing.T) {
+	db := newDB(t)
+	db.EnableQueryStore(querystore.Options{})
+	loadT(t, db, 5000, 10)
+	for i := 0; i < 4; i++ {
+		mustExec(t, db, "SELECT count(*) FROM t")
+	}
+	for _, s := range db.QueryStats() {
+		if s.NormSQL != "SELECT COUNT(*) FROM t" {
+			continue
+		}
+		var n int64
+		for _, b := range s.Latency {
+			n += b.Count
+		}
+		if n != s.Calls {
+			t.Errorf("latency counts %d != calls %d", n, s.Calls)
+		}
+		return
+	}
+	t.Fatal("count(*) fingerprint missing")
+}
+
+// TestQueryStoreDisable checks DisableQueryStore stops capture without
+// invalidating the old store.
+func TestQueryStoreDisable(t *testing.T) {
+	db := newDB(t)
+	s := db.EnableQueryStore(querystore.Options{})
+	loadT(t, db, 100, 10)
+	mustExec(t, db, "SELECT count(*) FROM t")
+	n := s.Len()
+	db.DisableQueryStore()
+	mustExec(t, db, "SELECT count(*) FROM t")
+	if s.Len() != n {
+		t.Errorf("store grew after disable: %d -> %d", n, s.Len())
+	}
+	if db.QueryStats() != nil {
+		t.Error("QueryStats non-nil after disable")
+	}
+}

@@ -17,6 +17,21 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 // Handler returns the /metrics handler for the Default registry.
 func Handler() http.Handler { return Default() }
 
+var (
+	handlersMu sync.Mutex
+	handlers   = map[string]http.Handler{}
+)
+
+// Handle registers an extra handler served by every subsequent
+// Serve() mux (e.g. a query store at /debug/querystore). Patterns
+// registered here must not collide with the built-in /metrics and
+// /debug/vars; re-registering a pattern replaces the handler.
+func Handle(pattern string, h http.Handler) {
+	handlersMu.Lock()
+	defer handlersMu.Unlock()
+	handlers[pattern] = h
+}
+
 var publishOnce sync.Once
 
 // publishExpvar exposes the default registry's snapshot as one expvar
@@ -34,6 +49,7 @@ func publishExpvar() {
 //	/metrics     Prometheus text format (Default registry)
 //	/debug/vars  expvar JSON (runtime memstats + hybriddb snapshot)
 //
+// plus any handlers registered via Handle (e.g. /debug/querystore).
 // The listener is bound synchronously (so address errors surface to
 // the caller) and served in a background goroutine. The returned
 // server can be Closed to stop it.
@@ -46,6 +62,11 @@ func Serve(addr string) (*http.Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	handlersMu.Lock()
+	for pattern, h := range handlers {
+		mux.Handle(pattern, h)
+	}
+	handlersMu.Unlock()
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, nil

@@ -84,6 +84,98 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestEmptyHistogramProm: a histogram with zero observations still
+// renders a full, well-formed series — every bucket at 0, _sum 0,
+// _count 0 — so scrapers never see a partial family.
+func TestEmptyHistogramProm(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "no samples yet", LogBuckets(1e-6, 4, 3))
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE empty_seconds histogram",
+		`empty_seconds_bucket{le="1e-06"} 0`,
+		`empty_seconds_bucket{le="4e-06"} 0`,
+		`empty_seconds_bucket{le="1.6e-05"} 0`,
+		`empty_seconds_bucket{le="+Inf"} 0`,
+		"empty_seconds_sum 0",
+		"empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty histogram output missing %q in:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["empty_seconds_count"] != 0 || snap["empty_seconds_sum"] != 0 {
+		t.Errorf("empty histogram snapshot = %v", snap)
+	}
+	if _, ok := snap["empty_seconds"]; ok {
+		t.Error("histogram leaked a bare-name snapshot entry")
+	}
+}
+
+// TestGaugeFuncScrapeTime: the callback is evaluated at scrape time,
+// not at registration — successive renders see successive values, and
+// re-registration keeps the first callback.
+func TestGaugeFuncScrapeTime(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("sampled_now", "live value", func() float64 { return v })
+	if got := r.Value("sampled_now"); got != 1 {
+		t.Fatalf("first scrape = %g, want 1", got)
+	}
+	v = 42.5
+	if got := r.Value("sampled_now"); got != 42.5 {
+		t.Fatalf("second scrape = %g, want 42.5 (callback not re-evaluated)", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "sampled_now 42.5") {
+		t.Errorf("prometheus text did not sample at render: %s", b.String())
+	}
+	// Re-registration returns the existing gauge and keeps its callback.
+	g := r.GaugeFunc("sampled_now", "live value", func() float64 { return -1 })
+	if got := g.Value(); got != 42.5 {
+		t.Errorf("re-registration replaced callback: %g", got)
+	}
+}
+
+// TestHistogramSeriesNaming: the exposition families follow the
+// Prometheus histogram contract — cumulative _bucket counts ending in
+// an +Inf bucket equal to _count, with no bare-name sample line.
+func TestHistogramSeriesNaming(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("naming_seconds", "contract", LogBuckets(0.001, 10, 2)) // 1ms, 10ms
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(3600) // beyond the last bound: +Inf only
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	var series []string
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "#") {
+			series = append(series, ln)
+		}
+	}
+	want := []string{
+		`naming_seconds_bucket{le="0.001"} 1`,
+		`naming_seconds_bucket{le="0.01"} 2`,
+		`naming_seconds_bucket{le="+Inf"} 3`,
+		`naming_seconds_sum 3600.0055`,
+		`naming_seconds_count 3`,
+	}
+	if len(series) != len(want) {
+		t.Fatalf("series = %q, want %d lines", series, len(want))
+	}
+	for i, w := range want {
+		if series[i] != w {
+			t.Errorf("series[%d] = %q, want %q", i, series[i], w)
+		}
+	}
+}
+
 func TestPrometheusHandler(t *testing.T) {
 	c := NewCounter("test_handler_total", "handler smoke")
 	c.Inc()

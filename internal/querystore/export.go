@@ -1,0 +1,98 @@
+package querystore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// captureHeader is the first line of a JSONL capture.
+type captureHeader struct {
+	Type       string `json:"type"` // "capture"
+	Version    int    `json:"version"`
+	Queries    int    `json:"queries"`
+	Executions int64  `json:"executions"`
+}
+
+// CaptureQuery is one per-fingerprint line of a JSONL capture — the
+// replayable workload unit advisor.FromCapture consumes: the raw
+// sample SQL to re-parse and the call count as the weight.
+type CaptureQuery struct {
+	Type        string `json:"type"` // "query"
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	SQL         string `json:"sql"`
+	NormSQL     string `json:"norm_sql"`
+	Calls       int64  `json:"calls"`
+	Errors      int64  `json:"errors,omitempty"`
+	ExecTotalUS int64  `json:"exec_total_us"`
+	RowsOut     int64  `json:"rows_out"`
+}
+
+// captureExec is one recent-execution line of a JSONL capture.
+type captureExec struct {
+	Type        string `json:"type"` // "exec"
+	Seq         int64  `json:"seq"`
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"`
+	ExecUS      int64  `json:"exec_us"`
+	Err         bool   `json:"err,omitempty"`
+}
+
+// ExportJSONL writes the capture as JSON lines: one header line, one
+// "query" line per fingerprint in fingerprint order, then one "exec"
+// line per ring-buffer execution oldest-first. The byte stream is a
+// pure function of the store's (deterministic) contents, so identical
+// workloads produce identical captures.
+func (s *Store) ExportJSONL(w io.Writer) error {
+	snap := s.Snapshot()
+	recent := s.Recent()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var execs int64
+	for _, q := range snap {
+		execs += q.Calls
+	}
+	if err := enc.Encode(captureHeader{Type: "capture", Version: 1, Queries: len(snap), Executions: execs}); err != nil {
+		return err
+	}
+	for _, q := range snap {
+		line := CaptureQuery{
+			Type: "query", Fingerprint: q.Fingerprint, Kind: q.Kind,
+			SQL: q.SampleSQL, NormSQL: q.NormSQL, Calls: q.Calls,
+			Errors: q.Errors, ExecTotalUS: q.ExecTotalUS, RowsOut: q.RowsOut,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, r := range recent {
+		line := captureExec{
+			Type: "exec", Seq: r.Seq, Fingerprint: r.Fingerprint,
+			Kind: r.Kind, ExecUS: r.ExecUS, Err: r.Err,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ServeHTTP renders the store as JSON ({"queries": ..., "recent":
+// ...}), making *Store mountable at /debug/querystore next to
+// /metrics.
+func (s *Store) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	payload := struct {
+		Queries []QueryStats `json:"queries"`
+		Recent  []RecentExec `json:"recent"`
+	}{s.Snapshot(), s.Recent()}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("querystore: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}

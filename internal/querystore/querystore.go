@@ -1,0 +1,497 @@
+// Package querystore aggregates per-statement runtime history — the
+// engine's analogue of SQL Server's Query Store, which is how the
+// paper's Section 4 workloads were captured in the first place. Every
+// executed statement is folded under a fingerprint of its normalized
+// SQL text (sql.Normalize: literals parameterized, lists collapsed)
+// and its physical plan shape (plan.Shape: operators and access paths
+// without constants or estimates), so the same query run with
+// different constants accumulates into one entry, while the same text
+// executed under a different plan — say after an index build — starts
+// a new one.
+//
+// Per fingerprint the store keeps cumulative statistics: call and
+// error counts, a virtual-latency histogram, rows in/out, peak memory
+// high-water mark, a per-stage breakdown (parse / optimize /
+// lock-wait / exec), and per-operator totals (time, rows, bytes, and
+// the kernel/pruning counters) lifted from the executor's TraceNode
+// trees. A bounded ring buffer keeps the most recent executions, with
+// a full EXPLAIN ANALYZE trace sampled every SampleEvery-th call per
+// fingerprint.
+//
+// Determinism contract: every duration and counter in the store comes
+// from internal/vclock, so the store's contents are bit-identical
+// run-to-run and at any real worker count — with one subtlety. The
+// executor's trace attributes parallel_workers, morsels, and
+// worker<i>_rowgroups describe the real goroutine fan-out (and its
+// work stealing), which is exactly the nondeterminism the vclock
+// discipline hides; sanitizeTrace strips them on ingestion, both for
+// per-operator folding and for sampled traces. Everything else in a
+// trace is virtual and merge-order-stable (see internal/exec/parallel.go).
+package querystore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/vclock"
+)
+
+// Process-wide query-store counters.
+var (
+	mExecutions = metrics.NewCounter("hybriddb_querystore_executions_total", "statement executions recorded by the query store")
+	mEvictions  = metrics.NewCounter("hybriddb_querystore_evictions_total", "fingerprints evicted from the query store")
+	mSamples    = metrics.NewCounter("hybriddb_querystore_trace_samples_total", "full execution traces sampled into the ring buffer")
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxFingerprints = 512
+	DefaultRingSize        = 128
+	DefaultSampleEvery     = 16
+)
+
+// Options bound the store's retention.
+type Options struct {
+	// MaxFingerprints caps distinct fingerprints; when full, the
+	// least-recently-seen entry is evicted (ties broken by smaller
+	// fingerprint, so eviction is deterministic).
+	MaxFingerprints int
+	// RingSize bounds the recent-execution ring buffer.
+	RingSize int
+	// SampleEvery samples a full execution trace into the ring every
+	// N-th call of a fingerprint (the first call is always sampled).
+	SampleEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFingerprints <= 0 {
+		o.MaxFingerprints = DefaultMaxFingerprints
+	}
+	if o.RingSize <= 0 {
+		o.RingSize = DefaultRingSize
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = DefaultSampleEvery
+	}
+	return o
+}
+
+// Stages is the per-statement stage breakdown. All durations are
+// virtual. LockWait is identically zero today: statements serialize at
+// the engine's statement-boundary lock outside the virtual timeline;
+// the stage exists so the taxonomy is stable when admission control
+// lands (ROADMAP item 1).
+type Stages struct {
+	Parse    time.Duration
+	Optimize time.Duration
+	LockWait time.Duration
+	Exec     time.Duration
+}
+
+func (s *Stages) add(o Stages) {
+	s.Parse += o.Parse
+	s.Optimize += o.Optimize
+	s.LockWait += o.LockWait
+	s.Exec += o.Exec
+}
+
+// Execution is one statement execution as reported by the engine.
+type Execution struct {
+	SQL   string // raw statement text
+	Norm  string // normalized text (sql.Normalize)
+	Kind  string // statement kind: select, insert, ...
+	Shape string // physical plan shape (plan.Shape), or a DML/DDL tag
+	Err   bool   // the statement returned an error
+
+	Metrics      vclock.Metrics
+	RowsAffected int64
+	Stages       Stages
+
+	// Trace is the per-operator execution trace, if the engine captured
+	// one. The store folds per-operator stats from it and samples whole
+	// (sanitized) copies into the ring buffer; the caller keeps
+	// ownership and the store never mutates it.
+	Trace *metrics.TraceNode
+}
+
+// Fingerprint hashes a normalized statement and its plan shape
+// (FNV-1a over norm + NUL + shape).
+func Fingerprint(norm, shape string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(norm))
+	h.Write([]byte{0})
+	h.Write([]byte(shape))
+	return h.Sum64()
+}
+
+// FormatFingerprint renders a fingerprint the way logs and exports
+// carry it: 16 hex digits.
+func FormatFingerprint(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// latencyBounds are the latency histogram's upper bounds in seconds
+// (same log scale as the /metrics exec-time histogram).
+var latencyBounds = metrics.DefaultBuckets()
+
+// opStats accumulates one plan operator's totals across calls.
+type opStats struct {
+	rows, batches, loops, bytesRead int64
+	time                            time.Duration
+	attrs                           map[string]int64
+}
+
+// entry is the mutable per-fingerprint state.
+type entry struct {
+	fp                uint64
+	kind, norm, shape string
+	sampleSQL         string
+	firstSeq, lastSeq int64
+	calls, errors     int64
+	rowsOut           int64
+	rowsAffected      int64
+	dataRead          int64
+	dataWritten       int64
+	memPeakMax        int64
+	execTotal         time.Duration
+	cpuTotal          time.Duration
+	stages            Stages
+	latency           []int64 // len(latencyBounds)+1, last is +Inf
+	ops               map[string]*opStats
+}
+
+// RecentExec is one ring-buffer slot.
+type RecentExec struct {
+	Seq         int64  `json:"seq"`
+	Fingerprint string `json:"fingerprint"`
+	SQL         string `json:"sql"`
+	Kind        string `json:"kind"`
+	Err         bool   `json:"err,omitempty"`
+	ExecUS      int64  `json:"exec_us"`
+	Rows        int64  `json:"rows"`
+	// Trace is the sampled EXPLAIN ANALYZE rendering (sanitized), only
+	// on sampled executions.
+	Trace []string `json:"trace,omitempty"`
+}
+
+// Store is one query store. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	opts    Options
+	seq     int64
+	entries map[uint64]*entry
+	ring    []RecentExec // circular, valid up to min(seq, len)
+	ringPos int
+}
+
+// New creates a store; zero Options fields take the package defaults.
+func New(opts Options) *Store {
+	o := opts.withDefaults()
+	return &Store{
+		opts:    o,
+		entries: make(map[uint64]*entry),
+		ring:    make([]RecentExec, 0, o.RingSize),
+	}
+}
+
+// Record folds one execution into the store.
+func (s *Store) Record(e Execution) {
+	mExecutions.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	fp := Fingerprint(e.Norm, e.Shape)
+	ent := s.entries[fp]
+	if ent == nil {
+		if len(s.entries) >= s.opts.MaxFingerprints {
+			s.evictLocked()
+		}
+		ent = &entry{
+			fp: fp, kind: e.Kind, norm: e.Norm, shape: e.Shape,
+			sampleSQL: e.SQL, firstSeq: s.seq,
+			latency: make([]int64, len(latencyBounds)+1),
+			ops:     make(map[string]*opStats),
+		}
+		s.entries[fp] = ent
+	}
+	ent.lastSeq = s.seq
+	ent.calls++
+	if e.Err {
+		ent.errors++
+	}
+	m := e.Metrics
+	ent.rowsOut += m.Rows
+	ent.rowsAffected += e.RowsAffected
+	ent.dataRead += m.DataRead
+	ent.dataWritten += m.DataWrite
+	if m.MemPeak > ent.memPeakMax {
+		ent.memPeakMax = m.MemPeak
+	}
+	ent.execTotal += m.ExecTime
+	ent.cpuTotal += m.CPUTime
+	ent.stages.add(e.Stages)
+	ent.latency[bucketOf(m.ExecTime.Seconds())]++
+	if e.Trace != nil {
+		foldTrace(ent.ops, e.Trace, "")
+	}
+
+	// Ring buffer + deterministic trace sampling: the first call of a
+	// fingerprint and every SampleEvery-th after it carry a full trace.
+	rec := RecentExec{
+		Seq:         s.seq,
+		Fingerprint: FormatFingerprint(fp),
+		SQL:         e.SQL,
+		Kind:        e.Kind,
+		Err:         e.Err,
+		ExecUS:      m.ExecTime.Microseconds(),
+		Rows:        m.Rows,
+	}
+	if e.Trace != nil && (ent.calls-1)%int64(s.opts.SampleEvery) == 0 {
+		rec.Trace = sanitizeTrace(e.Trace).Render()
+		mSamples.Inc()
+	}
+	if len(s.ring) < s.opts.RingSize {
+		s.ring = append(s.ring, rec)
+		s.ringPos = len(s.ring) % s.opts.RingSize
+	} else {
+		s.ring[s.ringPos] = rec
+		s.ringPos = (s.ringPos + 1) % s.opts.RingSize
+	}
+}
+
+// evictLocked removes the least-recently-seen entry, breaking ties by
+// smaller fingerprint so eviction order never depends on map order.
+func (s *Store) evictLocked() {
+	var victim *entry
+	for _, ent := range s.entries {
+		if victim == nil || ent.lastSeq < victim.lastSeq ||
+			(ent.lastSeq == victim.lastSeq && ent.fp < victim.fp) {
+			victim = ent
+		}
+	}
+	if victim != nil {
+		delete(s.entries, victim.fp)
+		mEvictions.Inc()
+	}
+}
+
+func bucketOf(seconds float64) int {
+	for i, b := range latencyBounds {
+		if seconds <= b {
+			return i
+		}
+	}
+	return len(latencyBounds)
+}
+
+// foldTrace accumulates one trace tree into per-operator stats. The
+// path key encodes each node's position (sibling index + name) from
+// the synthetic root, which is deterministic because trace shape is a
+// plan property; nondeterministic fan-out attributes are stripped.
+func foldTrace(ops map[string]*opStats, tn *metrics.TraceNode, prefix string) {
+	for i, c := range tn.Children {
+		path := fmt.Sprintf("%s/%d:%s", prefix, i, c.Name)
+		op := ops[path]
+		if op == nil {
+			op = &opStats{attrs: make(map[string]int64)}
+			ops[path] = op
+		}
+		op.rows += c.Rows
+		op.batches += c.Batches
+		op.loops += c.Loops
+		op.bytesRead += c.BytesRead
+		op.time += c.Time
+		for _, a := range c.Attrs {
+			if nondeterministicAttr(a.Key) {
+				continue
+			}
+			op.attrs[a.Key] += a.Val
+		}
+		foldTrace(ops, c, path)
+	}
+}
+
+// nondeterministicAttr reports trace attributes that describe the real
+// worker fan-out rather than virtual execution: parallel_workers,
+// morsels, and worker<i>_rowgroups vary with ExecOptions.Parallelism
+// and with work stealing, so the store must not absorb them.
+func nondeterministicAttr(key string) bool {
+	if key == "parallel_workers" || key == "morsels" {
+		return true
+	}
+	if len(key) > 6 && key[:6] == "worker" {
+		i := 6
+		for i < len(key) && key[i] >= '0' && key[i] <= '9' {
+			i++
+		}
+		return i > 6 && i < len(key) && key[i] == '_'
+	}
+	return false
+}
+
+// sanitizeTrace deep-copies a trace with nondeterministic attributes
+// removed, preserving attribute and child order.
+func sanitizeTrace(tn *metrics.TraceNode) *metrics.TraceNode {
+	out := &metrics.TraceNode{
+		Name: tn.Name, Rows: tn.Rows, Batches: tn.Batches, Loops: tn.Loops,
+		BytesRead: tn.BytesRead, Time: tn.Time,
+	}
+	for _, a := range tn.Attrs {
+		if !nondeterministicAttr(a.Key) {
+			out.Attrs = append(out.Attrs, a)
+		}
+	}
+	for _, c := range tn.Children {
+		out.Children = append(out.Children, sanitizeTrace(c))
+	}
+	return out
+}
+
+// Attr is one folded per-operator attribute total.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// OpStats is one plan operator's cumulative totals across calls.
+type OpStats struct {
+	Path      string `json:"path"`
+	Rows      int64  `json:"rows"`
+	Batches   int64  `json:"batches"`
+	Loops     int64  `json:"loops"`
+	BytesRead int64  `json:"bytes_read"`
+	TimeUS    int64  `json:"time_us"`
+	Attrs     []Attr `json:"attrs,omitempty"`
+}
+
+// LatencyBucket is one cumulative latency histogram bucket; LE is the
+// upper bound in seconds, with +Inf rendered as 0-valued LE on the
+// final bucket (Inf is not representable in JSON).
+type LatencyBucket struct {
+	LE    float64 `json:"le"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// QueryStats is the immutable snapshot of one fingerprint's state.
+type QueryStats struct {
+	Fingerprint  string          `json:"fingerprint"`
+	Kind         string          `json:"kind"`
+	NormSQL      string          `json:"norm_sql"`
+	SampleSQL    string          `json:"sample_sql"`
+	PlanShape    string          `json:"plan_shape"`
+	FirstSeq     int64           `json:"first_seq"`
+	LastSeq      int64           `json:"last_seq"`
+	Calls        int64           `json:"calls"`
+	Errors       int64           `json:"errors"`
+	RowsOut      int64           `json:"rows_out"`
+	RowsAffected int64           `json:"rows_affected"`
+	DataRead     int64           `json:"data_read_bytes"`
+	DataWritten  int64           `json:"data_written_bytes"`
+	MemPeakMax   int64           `json:"mem_peak_bytes"`
+	ExecTotalUS  int64           `json:"exec_total_us"`
+	CPUTotalUS   int64           `json:"cpu_total_us"`
+	ParseUS      int64           `json:"stage_parse_us"`
+	OptimizeUS   int64           `json:"stage_optimize_us"`
+	LockWaitUS   int64           `json:"stage_lockwait_us"`
+	StageExecUS  int64           `json:"stage_exec_us"`
+	Latency      []LatencyBucket `json:"latency,omitempty"`
+	Ops          []OpStats       `json:"ops,omitempty"`
+}
+
+// Snapshot returns per-fingerprint statistics sorted by fingerprint.
+// The result is detached from the store and safe to retain.
+func (s *Store) Snapshot() []QueryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueryStats, 0, len(s.entries))
+	for _, ent := range s.entries {
+		out = append(out, ent.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+func (ent *entry) snapshot() QueryStats {
+	qs := QueryStats{
+		Fingerprint:  FormatFingerprint(ent.fp),
+		Kind:         ent.kind,
+		NormSQL:      ent.norm,
+		SampleSQL:    ent.sampleSQL,
+		PlanShape:    ent.shape,
+		FirstSeq:     ent.firstSeq,
+		LastSeq:      ent.lastSeq,
+		Calls:        ent.calls,
+		Errors:       ent.errors,
+		RowsOut:      ent.rowsOut,
+		RowsAffected: ent.rowsAffected,
+		DataRead:     ent.dataRead,
+		DataWritten:  ent.dataWritten,
+		MemPeakMax:   ent.memPeakMax,
+		ExecTotalUS:  ent.execTotal.Microseconds(),
+		CPUTotalUS:   ent.cpuTotal.Microseconds(),
+		ParseUS:      ent.stages.Parse.Microseconds(),
+		OptimizeUS:   ent.stages.Optimize.Microseconds(),
+		LockWaitUS:   ent.stages.LockWait.Microseconds(),
+		StageExecUS:  ent.stages.Exec.Microseconds(),
+	}
+	// Only non-empty buckets are emitted; positions are identified by
+	// their bound, so omission is lossless and keeps snapshots small.
+	for i, n := range ent.latency {
+		if n == 0 {
+			continue
+		}
+		b := LatencyBucket{Count: n}
+		if i < len(latencyBounds) {
+			b.LE = latencyBounds[i]
+		} else {
+			b.Inf = true
+		}
+		qs.Latency = append(qs.Latency, b)
+	}
+	paths := make([]string, 0, len(ent.ops))
+	for p := range ent.ops {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		op := ent.ops[p]
+		o := OpStats{
+			Path: p, Rows: op.rows, Batches: op.batches, Loops: op.loops,
+			BytesRead: op.bytesRead, TimeUS: op.time.Microseconds(),
+		}
+		keys := make([]string, 0, len(op.attrs))
+		for k := range op.attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			o.Attrs = append(o.Attrs, Attr{Key: k, Val: op.attrs[k]})
+		}
+		qs.Ops = append(qs.Ops, o)
+	}
+	return qs
+}
+
+// Recent returns the ring buffer oldest-first.
+func (s *Store) Recent() []RecentExec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RecentExec, 0, len(s.ring))
+	if len(s.ring) < s.opts.RingSize {
+		out = append(out, s.ring...)
+		return out
+	}
+	out = append(out, s.ring[s.ringPos:]...)
+	out = append(out, s.ring[:s.ringPos]...)
+	return out
+}
+
+// Len returns the number of tracked fingerprints.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

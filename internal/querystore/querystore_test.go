@@ -1,0 +1,217 @@
+package querystore
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/vclock"
+)
+
+func exec(norm string, execTime time.Duration) Execution {
+	return Execution{
+		SQL:  strings.ReplaceAll(norm, "?", "7"),
+		Norm: norm, Kind: "select", Shape: "Scan\n[dop=1]\n",
+		Metrics: vclock.Metrics{ExecTime: execTime, CPUTime: execTime / 2, Rows: 3, DataRead: 100},
+		Stages:  Stages{Parse: time.Microsecond, Exec: execTime},
+	}
+}
+
+func TestFoldByFingerprint(t *testing.T) {
+	s := New(Options{})
+	s.Record(exec("SELECT a FROM t WHERE a = ?", 10*time.Millisecond))
+	s.Record(exec("SELECT a FROM t WHERE a = ?", 30*time.Millisecond))
+	s.Record(exec("SELECT b FROM t", 5*time.Millisecond))
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("fingerprints = %d, want 2", len(snap))
+	}
+	var folded *QueryStats
+	for i := range snap {
+		if snap[i].Calls == 2 {
+			folded = &snap[i]
+		}
+	}
+	if folded == nil {
+		t.Fatalf("no folded entry: %+v", snap)
+	}
+	if folded.ExecTotalUS != 40_000 || folded.RowsOut != 6 || folded.ParseUS != 2 {
+		t.Errorf("folded totals: %+v", folded)
+	}
+	var latTotal int64
+	for _, b := range folded.Latency {
+		latTotal += b.Count
+	}
+	if latTotal != 2 {
+		t.Errorf("latency counts sum to %d, want 2", latTotal)
+	}
+}
+
+// TestShapeSplitsFingerprint: same normalized text under a different
+// plan shape must be a different fingerprint.
+func TestShapeSplitsFingerprint(t *testing.T) {
+	s := New(Options{})
+	e := exec("SELECT a FROM t", time.Millisecond)
+	s.Record(e)
+	e.Shape = "IndexSeek\n[dop=1]\n"
+	s.Record(e)
+	if got := s.Len(); got != 2 {
+		t.Fatalf("fingerprints = %d, want 2", got)
+	}
+}
+
+// TestDeterministicEviction fills the store past capacity twice and
+// checks both runs evict identically.
+func TestDeterministicEviction(t *testing.T) {
+	run := func() []QueryStats {
+		s := New(Options{MaxFingerprints: 4})
+		for i := 0; i < 10; i++ {
+			s.Record(exec(fmt.Sprintf("SELECT %c FROM t", 'a'+i), time.Millisecond))
+		}
+		// Re-touch an early survivor so recency, not insertion, decides.
+		s.Record(exec("SELECT g FROM t", time.Millisecond))
+		return s.Snapshot()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("eviction nondeterministic:\n%+v\nvs\n%+v", a, b)
+	}
+	if len(a) != 4 {
+		t.Fatalf("fingerprints = %d, want 4", len(a))
+	}
+}
+
+func TestRingBufferBounds(t *testing.T) {
+	s := New(Options{RingSize: 3})
+	for i := 0; i < 5; i++ {
+		s.Record(exec(fmt.Sprintf("SELECT %d_col FROM t", i), time.Millisecond))
+	}
+	recent := s.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring len = %d, want 3", len(recent))
+	}
+	if recent[0].Seq != 3 || recent[2].Seq != 5 {
+		t.Errorf("ring order: %+v", recent)
+	}
+}
+
+// TestTraceSampling checks the first call and every SampleEvery-th
+// call carry a sanitized trace, and folded op stats strip the real
+// worker fan-out attributes.
+func TestTraceSampling(t *testing.T) {
+	mkTrace := func() *metrics.TraceNode {
+		root := &metrics.TraceNode{}
+		scan := root.Child("ColumnstoreScan(t)")
+		scan.Rows = 100
+		scan.Time = 2 * time.Millisecond
+		scan.SetAttr("rowgroups_scanned", 4)
+		scan.SetAttr("parallel_workers", 8)
+		scan.SetAttr("morsels", 4)
+		scan.SetAttr("worker0_rowgroups", 3)
+		scan.SetAttr("worker13_rowgroups", 1)
+		return root
+	}
+	s := New(Options{SampleEvery: 2})
+	for i := 0; i < 4; i++ {
+		e := exec("SELECT a FROM t", time.Millisecond)
+		e.Trace = mkTrace()
+		s.Record(e)
+	}
+	recent := s.Recent()
+	var sampled int
+	for _, r := range recent {
+		if r.Trace != nil {
+			sampled++
+			joined := strings.Join(r.Trace, "\n")
+			if strings.Contains(joined, "parallel_workers") || strings.Contains(joined, "worker") ||
+				strings.Contains(joined, "morsels") {
+				t.Errorf("sampled trace kept nondeterministic attrs:\n%s", joined)
+			}
+			if !strings.Contains(joined, "rowgroups_scanned=4") {
+				t.Errorf("sampled trace lost deterministic attrs:\n%s", joined)
+			}
+		}
+	}
+	if sampled != 2 { // calls 1 and 3
+		t.Errorf("sampled traces = %d, want 2", sampled)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || len(snap[0].Ops) != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	op := snap[0].Ops[0]
+	if op.Path != "/0:ColumnstoreScan(t)" || op.Rows != 400 {
+		t.Errorf("op stats: %+v", op)
+	}
+	for _, a := range op.Attrs {
+		if nondeterministicAttr(a.Key) {
+			t.Errorf("folded nondeterministic attr %q", a.Key)
+		}
+	}
+	if len(op.Attrs) != 1 || op.Attrs[0] != (Attr{Key: "rowgroups_scanned", Val: 16}) {
+		t.Errorf("op attrs: %+v", op.Attrs)
+	}
+}
+
+func TestNondeterministicAttr(t *testing.T) {
+	for attr, want := range map[string]bool{
+		"parallel_workers":   true,
+		"morsels":            true,
+		"worker0_rowgroups":  true,
+		"worker12_rowgroups": true,
+		"rowgroups_scanned":  false,
+		"kernel_rows_out":    false,
+		"workers":            false, // no digit+underscore: not per-worker
+		"worker_rowgroups":   false, // no index digit
+	} {
+		if got := nondeterministicAttr(attr); got != want {
+			t.Errorf("nondeterministicAttr(%q) = %v, want %v", attr, got, want)
+		}
+	}
+}
+
+// TestExportDeterministic replays the same execution sequence into two
+// stores and requires byte-identical exports and HTTP bodies.
+func TestExportDeterministic(t *testing.T) {
+	feed := func(s *Store) {
+		for i := 0; i < 20; i++ {
+			s.Record(exec(fmt.Sprintf("SELECT c%d FROM t WHERE k = ?", i%5), time.Duration(i+1)*time.Millisecond))
+		}
+		e := exec("UPDATE t SET v = ?", time.Millisecond)
+		e.Kind = "update"
+		e.Err = true
+		s.Record(e)
+	}
+	a, b := New(Options{}), New(Options{})
+	feed(a)
+	feed(b)
+	var bufA, bufB bytes.Buffer
+	if err := a.ExportJSONL(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExportJSONL(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("JSONL exports differ for identical workloads")
+	}
+	if !strings.HasPrefix(bufA.String(), `{"type":"capture","version":1,"queries":6,"executions":21}`) {
+		t.Errorf("header: %s", bufA.String()[:80])
+	}
+
+	recA := httptest.NewRecorder()
+	recB := httptest.NewRecorder()
+	a.ServeHTTP(recA, httptest.NewRequest("GET", "/debug/querystore", nil))
+	b.ServeHTTP(recB, httptest.NewRequest("GET", "/debug/querystore", nil))
+	if !bytes.Equal(recA.Body.Bytes(), recB.Body.Bytes()) {
+		t.Fatal("HTTP bodies differ for identical workloads")
+	}
+	if ct := recA.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+}

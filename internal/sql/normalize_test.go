@@ -1,0 +1,133 @@
+package sql
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{
+			"SELECT * FROM t WHERE id = 42",
+			"SELECT * FROM t WHERE id = ?",
+		},
+		{
+			"select A, b from T where a < 10 and B >= 2.5",
+			"SELECT a, b FROM t WHERE a < ? AND b >= ?",
+		},
+		{
+			"SELECT * FROM t WHERE name = 'it''s'",
+			"SELECT * FROM t WHERE name = ?",
+		},
+		{
+			"SELECT * FROM t WHERE g IN (1, 2, 3)",
+			"SELECT * FROM t WHERE g IN (?)",
+		},
+		{
+			"SELECT * FROM t WHERE g IN (7)",
+			"SELECT * FROM t WHERE g IN (?)",
+		},
+		{
+			"INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')",
+			"INSERT INTO t VALUES (?)",
+		},
+		{
+			"INSERT INTO t VALUES (9, 'z')",
+			"INSERT INTO t VALUES (?)",
+		},
+		{
+			"SELECT sum(v) FROM t WHERE d BETWEEN '2007-01-01' AND '2007-06-30'",
+			"SELECT SUM(v) FROM t WHERE d BETWEEN ? AND ?",
+		},
+		{
+			"UPDATE t SET v += 5 WHERE k = 3",
+			"UPDATE t SET v += ? WHERE k = ?",
+		},
+		{
+			"SELECT a.x, b.y FROM a JOIN b ON a.x = b.y -- trailing comment\n WHERE a.x > 0",
+			"SELECT a.x, b.y FROM a JOIN b ON a.x = b.y WHERE a.x > ?",
+		},
+		{
+			"SELECT * FROM t WHERE flag = TRUE",
+			"SELECT * FROM t WHERE flag = ?",
+		},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if err != nil {
+			t.Errorf("Normalize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Normalize(%q)\n got  %q\n want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeCollapse checks that statements differing only in
+// constants — including list and batch arity — share one normal form.
+func TestNormalizeCollapse(t *testing.T) {
+	groups := [][]string{
+		{
+			"SELECT v FROM t WHERE k = 1",
+			"select V from T where K = 99999",
+		},
+		{
+			"INSERT INTO t VALUES (1, 2)",
+			"INSERT INTO t VALUES (3, 4), (5, 6), (7, 8)",
+		},
+		{
+			"SELECT count(*) FROM t WHERE g IN (1)",
+			"SELECT COUNT(*) FROM t WHERE g IN (2, 4, 6, 8)",
+		},
+	}
+	for _, g := range groups {
+		base, err := Normalize(g[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range g[1:] {
+			got, err := Normalize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Errorf("Normalize(%q) = %q, want %q (same as %q)", q, got, base, g[0])
+			}
+		}
+	}
+}
+
+func TestNormalizeError(t *testing.T) {
+	if _, err := Normalize("SELECT 'unterminated"); err == nil {
+		t.Fatal("want lex error")
+	}
+}
+
+func TestExprShape(t *testing.T) {
+	stmt, err := ParseOne("SELECT count(*) FROM t WHERE a < 10 AND b BETWEEN 1 AND 2 AND c IN (1, 2) AND d IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	got := ExprShape(sel.Where)
+	// The exact parenthesization tracks the parser's tree; assert the
+	// load-bearing property instead of the full rendering: literals are
+	// gone, structure remains.
+	for _, want := range []string{"(a < ?)", "(b BETWEEN ? AND ?)", "(c IN (?))", "(d IS NOT NULL)"} {
+		if !contains(got, want) {
+			t.Errorf("ExprShape = %q, missing %q", got, want)
+		}
+	}
+	if contains(got, "10") || contains(got, "1, 2") {
+		t.Errorf("ExprShape leaked literals: %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench benchsmoke
+.PHONY: all build vet lint test race ci bench benchsmoke bench-scaling
 
 all: ci
 
@@ -39,10 +39,24 @@ bench:
 		BENCH_BATCH_JSON=$(CURDIR)/BENCH_batch.json \
 		$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture' -run '^$$' .
 
+# bench-scaling sweeps DOP 1/2/4/8 over the four parallel shapes and
+# writes BENCH_scaling.json: measured speedup vs DOP 1 next to the
+# vclock model's PredictedSpeedup for the same query. GOMAXPROCS is
+# raised to 8 so the sweep uses every core on machines where Go would
+# default lower; on boxes with fewer physical cores the executor still
+# clamps to NumCPU and the artifact carries a warning saying so.
+bench-scaling:
+	GOMAXPROCS=8 BENCH_SCALING_JSON=$(CURDIR)/BENCH_scaling.json \
+		$(GO) test -bench 'BenchmarkScaling(Scan|Agg|Join|TopN)' -run '^$$' .
+
 # benchsmoke also runs the kernel-vs-naive benchmarks for one iteration:
 # each iteration asserts both paths select the identical row set, so the
 # differential check runs in CI without benchmark timing. The query-
 # store capture benchmark likewise asserts fingerprint stability across
-# serial and parallel runs each iteration.
+# serial and parallel runs each iteration. The scaling sweep rides
+# along for one iteration, and BENCH_GUARD=1 turns the recorded points
+# into a regression gate: any DOP the machine can schedule that runs
+# slower than 0.9x serial fails the build (see benchGuardFailures in
+# bench_parallel_test.go).
 benchsmoke:
-	$(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture' -benchtime 1x -run '^$$' .
+	BENCH_GUARD=1 $(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkScaling(Scan|Agg|Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture' -benchtime 1x -run '^$$' .

@@ -9,12 +9,18 @@ package hybriddb
 import (
 	"testing"
 
+	"hybriddb/internal/exec"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
 	"hybriddb/internal/workload"
 )
 
 func TestBatchRowSpineEquivalence(t *testing.T) {
+	// Force the worker pools to really run even on single-core CI
+	// machines (the scheduler otherwise degrades every operator to the
+	// inline serial path).
+	exec.SetSchedulableCPUs(8)
+	defer exec.SetSchedulableCPUs(0)
 	cfg := workload.DefaultCH()
 	cfg.Warehouses = 2
 	cfg.CustomersPerD = 60
@@ -33,7 +39,7 @@ func TestBatchRowSpineEquivalence(t *testing.T) {
 	}
 
 	for qi, q := range workload.CHQueries() {
-		for _, par := range []int{1, 4} {
+		for _, par := range []int{1, 2, 4, 8} {
 			rowRes, err := db.Exec(q, ExecOptions{Parallelism: par, RowMode: true})
 			if err != nil {
 				t.Fatalf("Q%02d row spine: %v", qi+1, err)

@@ -96,10 +96,10 @@ var (
 	benchRecords []parallelBenchRecord
 )
 
+// recordParallelBench always accumulates (not only when BENCH_JSON is
+// set): the BENCH_GUARD regression check in TestMain needs the records
+// even in benchsmoke runs that write no artifact.
 func recordParallelBench(name string, dop int, b *testing.B) {
-	if os.Getenv("BENCH_JSON") == "" {
-		return
-	}
 	benchMu.Lock()
 	defer benchMu.Unlock()
 	rec := parallelBenchRecord{
@@ -117,14 +117,31 @@ func recordParallelBench(name string, dop int, b *testing.B) {
 	benchRecords = append(benchRecords, rec)
 }
 
+// schedulableBenchCPUs mirrors exec.SchedulableCPUs: the worker pool
+// never exceeds min(GOMAXPROCS, NumCPU), so that is the budget that
+// decides which recorded DOPs actually ran in parallel.
+func schedulableBenchCPUs() int {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // benchWarning reports the single hardware caveat that invalidates
 // parallel speedup numbers: fewer schedulable CPUs than the largest
 // benchmarked DOP. It is printed to stderr and recorded in the JSON so
-// a reader of the committed numbers sees it too.
+// a reader of the committed numbers sees it too. Raising GOMAXPROCS
+// above the physical core count (as `make bench-scaling` does) cannot
+// clear the warning: the executor clamps its pools to NumCPU.
 func benchWarning() string {
 	maxDOP := parallelDOPs[len(parallelDOPs)-1]
-	if p := runtime.GOMAXPROCS(0); p < maxDOP {
-		return fmt.Sprintf("GOMAXPROCS=%d is below the max benchmarked DOP %d; parallel speedups are scheduler noise on this machine", p, maxDOP)
+	if p := schedulableBenchCPUs(); p < maxDOP {
+		return fmt.Sprintf("min(GOMAXPROCS=%d, NumCPU=%d) is below the max benchmarked DOP %d; parallel speedups are scheduler noise on this machine",
+			runtime.GOMAXPROCS(0), runtime.NumCPU(), maxDOP)
 	}
 	return ""
 }
@@ -150,27 +167,93 @@ func currentBenchEnv(workerCounts []int) benchEnv {
 	}
 }
 
+// computeParallelSpeedups orders the DOP-sweep records and fills in
+// speedup vs the same benchmark's DOP-1 baseline. It runs
+// unconditionally after the benchmarks because both the JSON writers
+// and the BENCH_GUARD regression check consume the results.
+func computeParallelSpeedups() {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	sort.SliceStable(benchRecords, func(i, j int) bool {
+		if benchRecords[i].Bench != benchRecords[j].Bench {
+			return benchRecords[i].Bench < benchRecords[j].Bench
+		}
+		return benchRecords[i].DOP < benchRecords[j].DOP
+	})
+	base := map[string]float64{}
+	for _, r := range benchRecords {
+		if r.DOP == 1 {
+			base[r.Bench] = r.NsPerOp
+		}
+	}
+	for i := range benchRecords {
+		if b := base[benchRecords[i].Bench]; b > 0 && benchRecords[i].NsPerOp > 0 {
+			benchRecords[i].Speedup = b / benchRecords[i].NsPerOp
+		}
+	}
+	sort.SliceStable(scalingRecords, func(i, j int) bool {
+		if scalingRecords[i].Bench != scalingRecords[j].Bench {
+			return scalingRecords[i].Bench < scalingRecords[j].Bench
+		}
+		return scalingRecords[i].DOP < scalingRecords[j].DOP
+	})
+	sbase := map[string]float64{}
+	for _, r := range scalingRecords {
+		if r.DOP == 1 {
+			sbase[r.Bench] = r.NsPerOp
+		}
+	}
+	for i := range scalingRecords {
+		if b := sbase[scalingRecords[i].Bench]; b > 0 && scalingRecords[i].NsPerOp > 0 {
+			scalingRecords[i].Speedup = b / scalingRecords[i].NsPerOp
+		}
+	}
+}
+
+// benchGuardFailures applies the anti-regression gate: any recorded
+// DOP the machine can actually schedule (DOP ≤ min(GOMAXPROCS,
+// NumCPU)) must not be slower than serial — speedup_vs_dop1 ≥ 0.9,
+// the 10% slack absorbing timer noise. DOPs above the schedulable
+// budget are excluded: the executor clamps them to the same pool
+// size, so their timing says nothing about parallel overhead. On a
+// single-core CI box only the DOP-1 points (speedup exactly 1.0) are
+// in scope, which keeps `make ci` deterministic there while real
+// multi-core machines get the full check.
+func benchGuardFailures() []string {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	sched := schedulableBenchCPUs()
+	var failures []string
+	for _, r := range benchRecords {
+		if r.DOP <= sched && r.Speedup > 0 && r.Speedup < 0.9 {
+			failures = append(failures, fmt.Sprintf(
+				"parallel/%s DOP %d: speedup_vs_dop1 %.3f < 0.9 with %d schedulable CPUs",
+				r.Bench, r.DOP, r.Speedup, sched))
+		}
+	}
+	for _, r := range scalingRecords {
+		if r.DOP <= sched && r.Speedup > 0 && r.Speedup < 0.9 {
+			failures = append(failures, fmt.Sprintf(
+				"scaling/%s DOP %d: speedup_vs_dop1 %.3f < 0.9 with %d schedulable CPUs",
+				r.Bench, r.DOP, r.Speedup, sched))
+		}
+	}
+	return failures
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
+	computeParallelSpeedups()
+	if os.Getenv("BENCH_GUARD") != "" {
+		for _, f := range benchGuardFailures() {
+			fmt.Fprintf(os.Stderr, "BENCH_GUARD: %s\n", f)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
 	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
 		benchMu.Lock()
-		sort.SliceStable(benchRecords, func(i, j int) bool {
-			if benchRecords[i].Bench != benchRecords[j].Bench {
-				return benchRecords[i].Bench < benchRecords[j].Bench
-			}
-			return benchRecords[i].DOP < benchRecords[j].DOP
-		})
-		base := map[string]float64{}
-		for _, r := range benchRecords {
-			if r.DOP == 1 {
-				base[r.Bench] = r.NsPerOp
-			}
-		}
-		for i := range benchRecords {
-			if b := base[benchRecords[i].Bench]; b > 0 {
-				benchRecords[i].Speedup = b / benchRecords[i].NsPerOp
-			}
-		}
 		if warn := benchWarning(); warn != "" {
 			fmt.Fprintf(os.Stderr, "warning: %s\n", warn)
 		}
@@ -185,6 +268,27 @@ func TestMain(m *testing.M) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "BENCH_JSON: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if path := os.Getenv("BENCH_SCALING_JSON"); path != "" && len(scalingRecords) > 0 {
+		benchMu.Lock()
+		if warn := benchWarning(); warn != "" {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", warn)
+		}
+		out := struct {
+			benchEnv
+			Results []scalingBenchRecord `json:"results"`
+		}{currentBenchEnv(scalingDOPs), scalingRecords}
+		benchMu.Unlock()
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_SCALING_JSON: %v\n", err)
 			if code == 0 {
 				code = 1
 			}

@@ -1,0 +1,134 @@
+// The -dop sweep: run the four representative parallel query shapes
+// (selective scan, grouped aggregation, partitioned-build hash join,
+// parallel sort + TOP) at each requested worker count and print
+// measured wall-clock speedup next to the vclock model's prediction.
+// This is the command-line twin of `make bench-scaling`, for eyeballing
+// scaling on whatever machine is at hand without the testing harness.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybriddb"
+	"hybriddb/internal/value"
+)
+
+func parseDOPs(s string) ([]int, error) {
+	var dops []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q (want positive integers, e.g. -dop 1,2,4,8)", part)
+		}
+		dops = append(dops, n)
+	}
+	return dops, nil
+}
+
+// sweepDB builds the join pair used by the batch benchmarks: a 20k-row
+// orders dimension and a 120k-row lineitem fact (reduced 10x under
+// -quick), both clustered columnstore.
+func sweepDB(quick bool) (*hybriddb.DB, error) {
+	scale := 1
+	if quick {
+		scale = 10
+	}
+	db := hybriddb.Open(hybriddb.WithRowGroupSize(8192))
+	for _, ddl := range []string{
+		"CREATE TABLE sorders (o_k BIGINT, o_g BIGINT, o_total DOUBLE)",
+		"CREATE TABLE slineitem (l_ok BIGINT, l_q BIGINT, l_v DOUBLE)",
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(29))
+	nOrders, nLines := 20_000/scale, 120_000/scale
+	orders := make([]value.Row, nOrders)
+	for i := range orders {
+		orders[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(64)),
+			value.NewFloat(float64(rng.Intn(100_000)) / 100),
+		}
+	}
+	db.Internal().Table("sorders").BulkLoad(nil, orders)
+	lines := make([]value.Row, nLines)
+	for i := range lines {
+		lines[i] = value.Row{
+			value.NewInt(rng.Int63n(int64(nOrders))),
+			value.NewInt(rng.Int63n(50)),
+			value.NewFloat(float64(rng.Intn(10_000)) / 4),
+		}
+	}
+	db.Internal().Table("slineitem").BulkLoad(nil, lines)
+	for _, ddl := range []string{
+		"CREATE CLUSTERED COLUMNSTORE INDEX cci_o ON sorders (o_k)",
+		"CREATE CLUSTERED COLUMNSTORE INDEX cci_l ON slineitem (l_ok)",
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func dopSweep(dops []int, quick bool) error {
+	db, err := sweepDB(quick)
+	if err != nil {
+		return err
+	}
+	queries := []struct{ name, sql string }{
+		{"scan", "SELECT l_ok, l_v FROM slineitem WHERE l_q < 5"},
+		{"agg", "SELECT o_g, count(*), sum(o_total) FROM sorders GROUP BY o_g"},
+		{"join", "SELECT o_g, count(*), sum(l_v) FROM sorders JOIN slineitem ON l_ok = o_k WHERE o_g < 8 GROUP BY o_g"},
+		{"topn", "SELECT TOP 100 l_ok, l_v FROM slineitem WHERE l_q < 20 ORDER BY l_v DESC, l_ok"},
+	}
+	iters := 5
+	if quick {
+		iters = 2
+	}
+	sched := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < sched {
+		sched = c
+	}
+	fmt.Printf("DOP sweep: %v (schedulable CPUs: %d), best of %d runs\n", dops, sched, iters)
+	fmt.Printf("%-6s %-5s %12s %10s %10s\n", "query", "dop", "wall", "speedup", "model")
+	for _, q := range queries {
+		// One untimed run captures the virtual metrics; they are
+		// identical at every DOP by construction.
+		res, err := db.Exec(q.sql, hybriddb.ExecOptions{Parallelism: 1})
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.name, err)
+		}
+		model := db.Internal().Model()
+		var base time.Duration
+		for _, dop := range dops {
+			best := time.Duration(0)
+			for i := 0; i < iters; i++ {
+				start := time.Now()
+				if _, err := db.Exec(q.sql, hybriddb.ExecOptions{Parallelism: dop}); err != nil {
+					return fmt.Errorf("%s at DOP %d: %w", q.name, dop, err)
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			if base == 0 {
+				base = best
+			}
+			fmt.Printf("%-6s %-5d %12v %9.2fx %9.2fx\n",
+				q.name, dop, best.Round(time.Microsecond),
+				float64(base)/float64(best), model.PredictedSpeedup(res.Metrics, dop))
+		}
+	}
+	if sched < dops[len(dops)-1] {
+		fmt.Printf("note: only %d schedulable CPUs; DOPs above that run with a clamped pool and measure scheduler noise\n", sched)
+	}
+	return nil
+}

@@ -12,11 +12,17 @@
 //  1. A `range` over a map whose body feeds an order-sensitive sink —
 //     an append to a result-row slice that the function returns, or to
 //     a field named Rows/Metrics/Children (TraceNode children,
-//     Result.Metrics), or a TraceNode Child call — must be followed by
-//     a sort (any sort.* / slices.Sort* call after the loop) before
-//     the function ends. Otherwise row order changes run to run, which
-//     breaks the serial-vs-parallel crosscheck and the paper's
-//     reproducibility.
+//     Result.Metrics) or Store/Itable (the partitioned hash-join
+//     build's per-partition tables, whose per-key append order is the
+//     probe's match-emission order), or a TraceNode Child call, or a
+//     vec.Vec Append (stored column order is result order) — must be
+//     followed by a sort (any sort.* / slices.Sort* call after the
+//     loop) before the function ends. Otherwise row order changes run
+//     to run, which breaks the serial-vs-parallel crosscheck, the
+//     partitioned-vs-single-table build equivalence, and the paper's
+//     reproducibility. Appends through an index expression
+//     (`t.itable[k] = append(t.itable[k], ...)`) are unwrapped to the
+//     indexed field.
 //
 //  2. Wall-clock and ambient randomness are banned: time.Now, Since,
 //     Until, After, Tick, NewTimer, NewTicker, AfterFunc, Sleep, and
@@ -43,8 +49,14 @@ var wallClock = map[string]bool{
 }
 
 // sinkFields are order-sensitive destination field names (compared
-// case-insensitively via lower()).
-var sinkFields = map[string]bool{"rows": true, "metrics": true, "children": true}
+// case-insensitively via lower()). store/itable are the partitioned
+// hash-join build's per-partition tables: rows must land in build-input
+// order, so filling them in map iteration order is a determinism bug
+// even though they are not result rows themselves.
+var sinkFields = map[string]bool{
+	"rows": true, "metrics": true, "children": true,
+	"store": true, "itable": true,
+}
 
 // New returns a fresh determinism analyzer.
 func New() *analysis.Analyzer {
@@ -115,7 +127,18 @@ func checkMapOrder(pass *analysis.Pass, fn *ast.FuncDecl) {
 					if !ok || !isAppend(pass.TypesInfo, call) || i >= len(m.Lhs) {
 						continue
 					}
-					switch lhs := ast.Unparen(m.Lhs[i]).(type) {
+					target := ast.Unparen(m.Lhs[i])
+					// Unwrap index expressions so partition-table writes
+					// (`t.itable[k] = append(t.itable[k], ...)`) resolve
+					// to the indexed field or variable.
+					for {
+						ix, ok := target.(*ast.IndexExpr)
+						if !ok {
+							break
+						}
+						target = ast.Unparen(ix.X)
+					}
+					switch lhs := target.(type) {
 					case *ast.Ident:
 						if obj := pass.TypesInfo.ObjectOf(lhs); obj != nil {
 							l.locals[obj] = true
@@ -128,10 +151,15 @@ func checkMapOrder(pass *analysis.Pass, fn *ast.FuncDecl) {
 				}
 			case *ast.CallExpr:
 				// tn.Child(...) inside a map range appends a trace child
-				// in map order.
-				if f := analysis.CalleeFunc(pass.TypesInfo, m); f != nil && f.Name() == "Child" &&
-					analysis.IsPkg(f.Pkg(), "metrics") {
-					l.direct = true
+				// in map order; v.Append(...) on a column vector stores
+				// rows in map order, which is the order probes emit them.
+				if f := analysis.CalleeFunc(pass.TypesInfo, m); f != nil {
+					if f.Name() == "Child" && analysis.IsPkg(f.Pkg(), "metrics") {
+						l.direct = true
+					}
+					if f.Name() == "Append" && analysis.IsPkg(f.Pkg(), "vec") {
+						l.direct = true
+					}
 				}
 			}
 			return true

@@ -4,7 +4,12 @@
 // and trace trees are produced.
 package exec
 
-import "sort"
+import (
+	"sort"
+
+	"hybriddb/internal/value"
+	"hybriddb/internal/vec"
+)
 
 // Row mirrors a result row.
 type Row []int64
@@ -87,4 +92,51 @@ func suppressed(groups map[string]Row) []Row {
 		out = append(out, g)
 	}
 	return out
+}
+
+// part mirrors the partitioned hash-join build's per-partition state:
+// an integer-keyed table of row positions plus the stored rows. Both
+// must be filled in build-input order.
+type part struct {
+	itable map[int64][]int32
+	store  []Row
+}
+
+// repartitionUnsorted rebuilds a partition by ranging over another
+// partition's map: per-key row order becomes map order, which is the
+// order probes emit matches.
+func repartitionUnsorted(dst *part, src map[int64][]int32) {
+	for k, rows := range src { // want `map iteration order flows into result rows`
+		dst.itable[k] = append(dst.itable[k], rows...)
+	}
+}
+
+// storeFillUnsorted appends stored rows in map order.
+func storeFillUnsorted(dst *part, src map[int64]Row) {
+	for _, r := range src { // want `map iteration order flows into result rows`
+		dst.store = append(dst.store, r)
+	}
+}
+
+// repartitionSorted restores a total order afterwards: clean.
+func repartitionSorted(dst *part, src map[int64][]int32) {
+	for k, rows := range src {
+		dst.itable[k] = append(dst.itable[k], rows...)
+	}
+	var keys []int64
+	for k := range dst.itable {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		sort.Slice(dst.itable[k], func(i, j int) bool { return dst.itable[k][i] < dst.itable[k][j] })
+	}
+}
+
+// vecFillUnsorted appends to a real column vector in map order: stored
+// column order is the order probes emit matches.
+func vecFillUnsorted(v *vec.Vec, src map[int64]value.Value) {
+	for _, val := range src { // want `map iteration order flows into result rows`
+		v.Append(val)
+	}
 }

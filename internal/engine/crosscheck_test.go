@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"hybriddb/internal/exec"
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
@@ -20,6 +21,11 @@ import (
 // a populated delta store, and deleted rows so all three scan phases
 // cross the exchange.
 func TestSerialParallelEquivalence(t *testing.T) {
+	// The scheduler clamps workers to schedulable CPUs so parallelism is
+	// never slower than serial on small machines; pretend this machine
+	// has 8 so the pool paths run (and race-test) regardless of host.
+	exec.SetSchedulableCPUs(8)
+	defer exec.SetSchedulableCPUs(0)
 	db := New(vclock.DefaultModel(vclock.DRAM), 0)
 	db.DefaultRowGroupSize = 1024
 	mustExec(t, db, "CREATE TABLE p (a BIGINT, b BIGINT, c DOUBLE, d VARCHAR(8))")
@@ -76,6 +82,14 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		// pipeline below it morsel-eligible.
 		"SELECT TOP 10 a, b FROM p WHERE b < 20 ORDER BY a",
 		"SELECT TOP 7 b, sum(c) FROM p GROUP BY b ORDER BY b",
+		// Parallel sort / TOP over the morsel partials (loser-tree merge)
+		// including DESC keys, ties, and a full-table sort.
+		"SELECT a, b, c FROM p WHERE b < 14 ORDER BY c DESC, a",
+		"SELECT a, d FROM p ORDER BY d, a",
+		"SELECT TOP 50 a, b, c FROM p ORDER BY c DESC, b, a",
+		// Partitioned join build feeding an ordered/TOP consumer.
+		"SELECT x, count(*) FROM p JOIN q ON b = x GROUP BY x ORDER BY x",
+		"SELECT TOP 20 a, y FROM p JOIN q ON b = x WHERE z < 25 ORDER BY a, y",
 	}
 	canon := func(res *Result) string {
 		out := make([]string, len(res.Rows))
@@ -96,7 +110,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	m0 := metrics.Default().Value("hybriddb_exec_morsels_dispatched_total")
 	for _, q := range queries {
 		serial := mustExec(t, db, q, ExecOptions{Parallelism: 1})
-		for _, workers := range []int{2, 4, 8} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			par := mustExec(t, db, q, ExecOptions{Parallelism: workers})
 			if par.Metrics != serial.Metrics {
 				t.Errorf("%s: metrics diverge at %d workers\n serial:   %v\n parallel: %v",
@@ -149,6 +163,35 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	wantGroups, _ := ss.Attr("rowgroups_scanned")
 	if workerGroups != wantGroups {
 		t.Errorf("per-worker rowgroup counts sum to %d, want %d", workerGroups, wantGroups)
+	}
+
+	// Parallel sort: the Sort node carries the loser-tree merge charge
+	// attr and the manufactured scan child the worker fan-out — and
+	// both must be present at Parallelism 1 too, because the morsel
+	// fold structure is part of the plan, not of the worker count.
+	for _, dop := range []int{1, 4} {
+		st := mustExec(t, db, "EXPLAIN ANALYZE SELECT a, b, c FROM p WHERE b < 14 ORDER BY c DESC, a",
+			ExecOptions{Parallelism: dop})
+		sn := st.Trace.Find("Sort")
+		if sn == nil {
+			t.Fatalf("missing Sort trace node:\n%s", st.Trace)
+		}
+		if _, ok := sn.Attr("parallel_sort_merge_ns"); !ok {
+			t.Errorf("dop %d: Sort node missing parallel_sort_merge_ns attr:\n%s", dop, st.Trace)
+		}
+	}
+
+	// Partitioned join build: parallel runs record the partition count;
+	// the serial-vs-parallel Metrics loop above already proved the
+	// partitioning is invisible to the virtual clock.
+	jt := mustExec(t, db, "EXPLAIN ANALYZE SELECT x, count(*), sum(a) FROM p JOIN q ON b = x GROUP BY x",
+		ExecOptions{Parallelism: 4})
+	jn := jt.Trace.Find("HashJoin")
+	if jn == nil {
+		t.Fatalf("missing HashJoin trace node:\n%s", jt.Trace)
+	}
+	if v, ok := jn.Attr("build_partitions"); !ok || v < 2 {
+		t.Errorf("build_partitions attr = %d (present=%v), want >= 2:\n%s", v, ok, jt.Trace)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybriddb/internal/colstore"
 	"hybriddb/internal/exec"
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/optimizer"
@@ -220,8 +221,12 @@ type ExecOptions struct {
 // selection uses every core, but only when the buffer pool is
 // unbounded: under a bounded LRU pool, concurrent workers would evict
 // pages in an interleaving-dependent order and the virtual I/O
-// accounting would stop being deterministic.
-func (db *Database) workers(o ExecOptions) int {
+// accounting would stop being deterministic. The automatic pick is
+// clamped to the plan's morsel count, so tiny tables never provision
+// (and then idle) a full machine's worth of workers; explicit
+// Parallelism requests are honored as given — the executor's own
+// scheduler still right-sizes each operator's pool.
+func (db *Database) workers(o ExecOptions, root *plan.Root) int {
 	n := o.Parallelism
 	if n == 0 {
 		n = db.DefaultParallelism
@@ -231,11 +236,48 @@ func (db *Database) workers(o ExecOptions) int {
 			return 1
 		}
 		n = runtime.GOMAXPROCS(0)
+		if m := planMorsels(root); n > m {
+			n = m
+		}
 	}
 	if n < 1 {
 		n = 1
 	}
 	return n
+}
+
+// planMorsels returns the largest morsel count any scan of the plan
+// decomposes into — the executor's parallelism ceiling for the
+// statement (one worker per rowgroup morsel plus a delta morsel,
+// mirroring exec's csiMorsels).
+func planMorsels(n plan.Node) int {
+	if n == nil {
+		return 1
+	}
+	max := 1
+	if s, ok := n.(*plan.Scan); ok && s.Access == plan.AccessCSIScan {
+		var csi *colstore.Index
+		if s.Index != nil && s.Index.CSI != nil {
+			csi = s.Index.CSI
+		} else if cci := s.Table.CCI(); cci != nil {
+			csi = cci
+		}
+		if csi != nil {
+			m := csi.Groups()
+			if csi.DeltaRows() > 0 {
+				m++
+			}
+			if m > max {
+				max = m
+			}
+		}
+	}
+	for _, c := range n.Children() {
+		if m := planMorsels(c); m > max {
+			max = m
+		}
+	}
+	return max
 }
 
 func (db *Database) optOptions(o ExecOptions) optimizer.Options {
@@ -528,7 +570,7 @@ func (db *Database) execExplain(s *sql.ExplainStmt, o ExecOptions) (*Result, err
 	tr := vclock.NewTracker(db.model)
 	trace := &metrics.TraceNode{} // synthetic root; children are the operators
 	res, err := exec.Execute(tr, root, bound.TotalSlots,
-		exec.RunOptions{Trace: trace, Workers: db.workers(o), RowMode: o.RowMode})
+		exec.RunOptions{Trace: trace, Workers: db.workers(o, root), RowMode: o.RowMode})
 	if err != nil {
 		return nil, err
 	}
@@ -587,7 +629,7 @@ func (db *Database) execSelect(s *sql.SelectStmt, o ExecOptions) (*Result, error
 		trace = &metrics.TraceNode{} // query store samples operator traces
 	}
 	res, err := exec.Execute(tr, root, bound.TotalSlots,
-		exec.RunOptions{Trace: trace, Workers: db.workers(o), RowMode: o.RowMode})
+		exec.RunOptions{Trace: trace, Workers: db.workers(o, root), RowMode: o.RowMode})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hybriddb/internal/exec"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+// TestParallelJoinDMLStress interleaves parallel join / sort / TOP
+// queries with DML under -race: the statement lock serializes readers
+// against writers, but inside each SELECT the morsel scheduler, the
+// partitioned hash-join build, and the parallel sort all run real
+// goroutines over shared table state. The test asserts nothing about
+// values beyond sanity (the crosscheck does that); its job is to give
+// the race detector concurrent claim/build/merge traffic against a
+// mutating delta store.
+func TestParallelJoinDMLStress(t *testing.T) {
+	exec.SetSchedulableCPUs(8)
+	defer exec.SetSchedulableCPUs(0)
+	db := New(vclock.DefaultModel(vclock.DRAM), 0)
+	db.DefaultRowGroupSize = 512
+	mustExec(t, db, "CREATE TABLE f (a BIGINT, b BIGINT, c DOUBLE)")
+	mustExec(t, db, "CREATE TABLE d (x BIGINT, y BIGINT)")
+	rng := rand.New(rand.NewSource(11))
+	frows := make([]value.Row, 8000)
+	for i := range frows {
+		frows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(rng.Int63n(32)),
+			value.NewFloat(float64(rng.Intn(500)) / 2),
+		}
+	}
+	db.Table("f").BulkLoad(nil, frows)
+	mustExec(t, db, "CREATE CLUSTERED COLUMNSTORE INDEX fcci ON f (a)")
+	drows := make([]value.Row, 2000)
+	for i := range drows {
+		drows[i] = value.Row{value.NewInt(int64(i % 32)), value.NewInt(rng.Int63n(9))}
+	}
+	db.Table("d").BulkLoad(nil, drows)
+	mustExec(t, db, "CREATE CLUSTERED COLUMNSTORE INDEX dcci ON d (x)")
+
+	queries := []string{
+		"SELECT x, count(*), sum(c) FROM f JOIN d ON b = x GROUP BY x",
+		"SELECT a, b, c FROM f WHERE b < 10 ORDER BY c DESC, a",
+		"SELECT TOP 25 a, c FROM f ORDER BY c, a",
+		"SELECT TOP 15 a, y FROM f JOIN d ON b = x WHERE y < 5 ORDER BY a, y",
+	}
+	const (
+		readers  = 3
+		iters    = 20
+		dmlIters = 60
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(r+i)%len(queries)]
+				if _, err := db.Exec(q, ExecOptions{Parallelism: 8}); err != nil {
+					errs <- fmt.Errorf("reader %d: %s: %w", r, q, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < dmlIters; i++ {
+			var err error
+			switch i % 3 {
+			case 0:
+				_, err = db.Exec(fmt.Sprintf("INSERT INTO f VALUES (%d, %d, %d.5)", 100000+i, i%32, i%7))
+			case 1:
+				_, err = db.Exec(fmt.Sprintf("INSERT INTO d VALUES (%d, %d)", i%32, i%9))
+			case 2:
+				_, err = db.Exec(fmt.Sprintf("DELETE FROM f WHERE a BETWEEN %d AND %d", i*3, i*3+2))
+			}
+			if err != nil {
+				errs <- fmt.Errorf("dml %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -266,12 +266,28 @@ func buildBatchNode(ctx *Context, n plan.Node) (BatchCursor, error) {
 		}
 		return newBatchProject(ctx, in, node.Exprs), nil
 	case *plan.Sort:
+		if rows, ok, err := morselSortRows(ctx, node, 0); err != nil {
+			return nil, err
+		} else if ok {
+			return &rowsBatchCursor{rows: rows}, nil
+		}
 		in, err := BuildBatch(ctx, node.Input)
 		if err != nil {
 			return nil, err
 		}
 		return newBatchSort(ctx, in, node.Keys)
 	case *plan.Top:
+		if s, ok := node.Input.(*plan.Sort); ok && parallelSortEligible(ctx, s) {
+			rows, tn, err := fusedTopSortRows(ctx, node, s)
+			if err != nil {
+				return nil, err
+			}
+			var in BatchCursor = &rowsBatchCursor{rows: rows}
+			if tn != nil {
+				in = &traceBatchCursor{ctx: ctx, tn: tn, in: in}
+			}
+			return &batchTop{in: in, n: node.N}, nil
+		}
 		in, err := BuildBatch(ctx, node.Input)
 		if err != nil {
 			return nil, err
@@ -443,10 +459,7 @@ func newParallelBatchScan(ctx *Context, s *plan.Scan) (BatchCursor, bool, error)
 	if !ok {
 		return nil, false, nil
 	}
-	w := ctx.Workers
-	if w > len(morsels) {
-		w = len(morsels)
-	}
+	w := schedulableWorkers(ctx, len(morsels))
 	outs := make([][]*SlotBatch, len(morsels))
 	workerGroups := make([]int64, w)
 	var morselTNs []*metrics.TraceNode

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sync"
+
 	"hybriddb/internal/colstore"
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
@@ -14,8 +16,11 @@ import (
 // populated slot) keyed by an int64 map when the join key is
 // integer-backed — value.EncodeKey carries no kind tag for int-payload
 // kinds, so the raw payload is the same key the row-mode table hashes.
-// Probe batches stream through, emitting columnar output batches when
-// both sides are columnar and composite rows otherwise.
+// Parallel-marked int-keyed builds shard that store by key hash into
+// per-worker partitions built concurrently (see buildPartitionedBatch);
+// serial and string-keyed builds use exactly one partition. Probe
+// batches stream through, emitting columnar output batches when both
+// sides are columnar and composite rows otherwise.
 //
 // Charge parity with the row-mode hashJoinCursor is exact: the probe
 // subtree is constructed before the build drain (grant-aware blocking
@@ -28,16 +33,16 @@ type batchHashJoin struct {
 	ctx *Context
 	j   *plan.Join
 
-	// Build store: columnar (store/storeSlots) or composite rows
+	// Build store: columnar partitions (parts) or composite rows
 	// (storeRows), decided on the first build batch.
-	store      []*vec.Vec
+	parts      []*joinPart
 	storeSlots []int
 	storeRows  []value.Row
-	nStore     int
 
-	// Exactly one table is populated; both nil when the build side is
-	// empty (probes then charge and miss, as in row mode).
-	itable map[int64][]int32
+	// htable is the string-keyed hash table (always single-partition);
+	// integer-backed keys live in the per-partition itable maps. All
+	// tables are nil when the build side is empty (probes then charge
+	// and miss, as in row mode).
 	htable map[string][]int32
 
 	bytes int64
@@ -49,6 +54,84 @@ type batchHashJoin struct {
 	fused    bool
 	gathered []*SlotBatch
 	gpos     int
+}
+
+// joinPart is one build-side partition: a columnar row store plus the
+// int-keyed hash table over it. Rows are assigned to partitions by key
+// hash, so every match for one probe key lives in one partition, and
+// each partition is appended by exactly one builder scanning the input
+// in order — the two facts that make partitioned output row-for-row
+// identical to a serial build at any partition count.
+type joinPart struct {
+	store  []*vec.Vec
+	itable map[int64][]int32
+	n      int
+}
+
+func newJoinPart(kinds []value.Kind, intKey bool) *joinPart {
+	pt := &joinPart{}
+	for _, k := range kinds {
+		pt.store = append(pt.store, vec.NewVec(k))
+	}
+	if intKey {
+		pt.itable = make(map[int64][]int32)
+	}
+	return pt
+}
+
+// partitionOf assigns an int-backed join key to a build partition with
+// a splitmix64-style finalizer. The raw payload doubles as the hash-
+// table key, so the partition function must scramble it first:
+// sequential surrogate keys would otherwise stripe into few partitions.
+func partitionOf(k int64, parts int) int {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(parts))
+}
+
+// buildPartitions picks the build fan-out for a Parallel-marked join:
+// the real worker budget clamped to schedulable CPUs. The count only
+// affects wall-clock time — partition assignment is a pure function of
+// the key and every virtual charge is issued by the coordinator in
+// build-input order — so any value is bit-compatible with serial.
+func buildPartitions(ctx *Context) int {
+	w := ctx.Workers
+	if p := SchedulableCPUs(); w > p {
+		w = p
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// intKeyed reports whether the columnar build keyed by int64 payload.
+func (c *batchHashJoin) intKeyed() bool {
+	return len(c.parts) > 0 && c.parts[0].itable != nil
+}
+
+// lookupInt returns the matches for an int-backed probe key and the
+// partition storing them.
+func (c *batchHashJoin) lookupInt(k int64) ([]int32, *joinPart) {
+	if len(c.parts) == 0 {
+		return nil, nil
+	}
+	pt := c.parts[0]
+	if len(c.parts) > 1 {
+		pt = c.parts[partitionOf(k, len(c.parts))]
+	}
+	return pt.itable[k], pt
+}
+
+func (c *batchHashJoin) part0() *joinPart {
+	if len(c.parts) == 0 {
+		return nil
+	}
+	return c.parts[0]
 }
 
 // probeState is the per-prober scratch: serial probing has one, each
@@ -117,24 +200,42 @@ func newBatchHashJoin(ctx *Context, j *plan.Join) (BatchCursor, error) {
 				colStore = keyVi >= 0
 			}
 			if colStore {
+				var kinds []value.Kind
 				for vi, slot := range sb.Slots {
 					if slot < 0 {
 						continue
 					}
-					c.store = append(c.store, vec.NewVec(sb.B.Cols[vi].Kind))
+					kinds = append(kinds, sb.B.Cols[vi].Kind)
 					c.storeSlots = append(c.storeSlots, slot)
 					storeSrc = append(storeSrc, vi)
 				}
-				if intBacked(sb.B.Cols[keyVi].Kind) {
-					c.itable = make(map[int64][]int32)
-				} else {
+				nParts := 1
+				intKey := intBacked(sb.B.Cols[keyVi].Kind)
+				if intKey && j.Parallel {
+					nParts = buildPartitions(ctx)
+				}
+				for pi := 0; pi < nParts; pi++ {
+					c.parts = append(c.parts, newJoinPart(kinds, intKey))
+				}
+				if !intKey {
 					c.htable = make(map[string][]int32)
+				}
+				if nParts > 1 {
+					mBuildPartitions.Add(int64(nParts))
+					if ctx.Trace != nil {
+						ctx.Trace.SetAttr("build_partitions", int64(nParts))
+					}
 				}
 			} else {
 				c.htable = make(map[string][]int32)
 			}
 		}
 		if colStore {
+			if len(c.parts) > 1 {
+				c.buildPartitionedBatch(sb, keyVi, storeSrc)
+				continue
+			}
+			pt := c.parts[0]
 			kv := sb.B.Cols[keyVi]
 			n := sb.Len()
 			for i := 0; i < n; i++ {
@@ -142,16 +243,16 @@ func newBatchHashJoin(ctx *Context, j *plan.Join) (BatchCursor, error) {
 				if kv.IsNull(p) {
 					continue
 				}
-				if c.itable != nil {
-					c.itable[kv.I[p]] = append(c.itable[kv.I[p]], int32(c.nStore))
+				if pt.itable != nil {
+					pt.itable[kv.I[p]] = append(pt.itable[kv.I[p]], int32(pt.n))
 				} else {
 					buf = value.EncodeKey(buf[:0], kv.Value(p))
-					c.htable[string(buf)] = append(c.htable[string(buf)], int32(c.nStore))
+					c.htable[string(buf)] = append(c.htable[string(buf)], int32(pt.n))
 				}
 				for si, vi := range storeSrc {
-					c.store[si].AppendFrom(sb.B.Cols[vi], p)
+					pt.store[si].AppendFrom(sb.B.Cols[vi], p)
 				}
-				c.nStore++
+				pt.n++
 				w := int64(sb.rowWidth(i, ctx.TotalSlots) + 32)
 				ctx.Tr.Alloc(w)
 				c.bytes += w
@@ -180,6 +281,55 @@ func newBatchHashJoin(ctx *Context, j *plan.Join) (BatchCursor, error) {
 		}
 	}
 	return c, nil
+}
+
+// buildPartitionedBatch routes one borrowed build batch into the
+// partitions SPMD-style: every partition's builder goroutine scans the
+// whole batch and appends only its own rows, so there are no routing
+// queues and per-partition order is build-input order. The coordinator
+// concurrently issues the serial charge multiset — Alloc then HashCPU
+// per non-null row, in input order on the main tracker — while the
+// builders touch only real memory; Metrics and MemPeak are therefore
+// bit-identical to a single-partition build. The per-batch barrier
+// keeps the borrowed batch alive until every builder is done with it.
+func (c *batchHashJoin) buildPartitionedBatch(sb *SlotBatch, keyVi int, storeSrc []int) {
+	kv := sb.B.Cols[keyVi]
+	n := sb.Len()
+	P := len(c.parts)
+	var wg sync.WaitGroup
+	for pi := 0; pi < P; pi++ {
+		wg.Add(1)
+		go func(pi int, pt *joinPart) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				p := sb.B.LiveIndex(i)
+				if kv.IsNull(p) {
+					continue
+				}
+				k := kv.I[p]
+				if partitionOf(k, P) != pi {
+					continue
+				}
+				pt.itable[k] = append(pt.itable[k], int32(pt.n))
+				for si, vi := range storeSrc {
+					pt.store[si].AppendFrom(sb.B.Cols[vi], p)
+				}
+				pt.n++
+			}
+		}(pi, c.parts[pi])
+	}
+	m := c.ctx.Tr.Model
+	for i := 0; i < n; i++ {
+		p := sb.B.LiveIndex(i)
+		if kv.IsNull(p) {
+			continue
+		}
+		w := int64(sb.rowWidth(i, c.ctx.TotalSlots) + 32)
+		c.ctx.Tr.Alloc(w)
+		c.bytes += w
+		c.ctx.Tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU), 1.0)
+	}
+	wg.Wait()
 }
 
 func (c *batchHashJoin) newProbeState(owned bool) *probeState {
@@ -233,10 +383,10 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 		// composite rows for the whole batch.
 		sb = &SlotBatch{Rows: sb.materializeRows(c.ctx.TotalSlots)}
 	}
-	if sb.Rows == nil && c.store != nil && !st.colInit {
+	if sb.Rows == nil && c.parts != nil && !st.colInit {
 		st.colInit = true
 		st.colOut = true
-		for _, v := range c.store {
+		for _, v := range c.parts[0].store {
 			st.kinds = append(st.kinds, v.Kind)
 		}
 		st.outSlots = append(st.outSlots, c.storeSlots...)
@@ -258,7 +408,7 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 			st.probeSrc, st.outSlots, st.kinds = nil, nil, nil
 		}
 	}
-	colOut := sb.Rows == nil && c.store != nil && st.colOut
+	colOut := sb.Rows == nil && c.parts != nil && st.colOut
 
 	var outB *vec.Batch
 	outCount := 0
@@ -271,11 +421,15 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 		outB = st.outB
 	}
 	var rows []value.Row
-	nStoreCols := len(c.store)
+	var nStoreCols int
+	if c.parts != nil {
+		nStoreCols = len(c.parts[0].store)
+	}
 	n := sb.Len()
 	for i := 0; i < n; i++ {
 		tr.ChargeParallelCPU(vclock.CPU(1, m.HashCPU), 1.0)
 		var matches []int32
+		pt := c.part0()
 		var probeRow value.Row
 		var p int
 		if sb.Rows != nil {
@@ -284,8 +438,8 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 			if k.IsNull() {
 				continue
 			}
-			if c.itable != nil {
-				matches = c.itable[k.Int()]
+			if c.intKeyed() {
+				matches, pt = c.lookupInt(k.Int())
 			} else {
 				st.buf = value.EncodeKey(st.buf[:0], k)
 				matches = c.htable[string(st.buf)]
@@ -296,8 +450,8 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 			if kv.IsNull(p) {
 				continue
 			}
-			if c.itable != nil {
-				matches = c.itable[kv.I[p]]
+			if c.intKeyed() {
+				matches, pt = c.lookupInt(kv.I[p])
 			} else {
 				st.buf = value.EncodeKey(st.buf[:0], kv.Value(p))
 				matches = c.htable[string(st.buf)]
@@ -310,7 +464,7 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 			for _, idx := range matches {
 				if len(c.j.Residual) > 0 {
 					for si, slot := range c.storeSlots {
-						st.scratch[slot] = c.store[si].Value(int(idx))
+						st.scratch[slot] = pt.store[si].Value(int(idx))
 					}
 					for _, vi := range st.probeSrc {
 						st.scratch[sb.Slots[vi]] = sb.B.Cols[vi].Value(p)
@@ -320,7 +474,7 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 					}
 				}
 				for si := 0; si < nStoreCols; si++ {
-					outB.Cols[si].AppendFrom(c.store[si], int(idx))
+					outB.Cols[si].AppendFrom(pt.store[si], int(idx))
 				}
 				for k, vi := range st.probeSrc {
 					outB.Cols[nStoreCols+k].AppendFrom(sb.B.Cols[vi], p)
@@ -336,7 +490,7 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 			} else {
 				out = make(value.Row, c.ctx.TotalSlots)
 				for si, slot := range c.storeSlots {
-					out[slot] = c.store[si].Value(int(idx))
+					out[slot] = pt.store[si].Value(int(idx))
 				}
 			}
 			if probeRow != nil {
@@ -382,10 +536,7 @@ func (c *batchHashJoin) probeOne(tr *vclock.Tracker, sb *SlotBatch, st *probeSta
 func (c *batchHashJoin) fusedProbe(scan *plan.Scan, morsels []colstore.ScanPartition) error {
 	ctx := c.ctx
 	c.fused = true
-	w := ctx.Workers
-	if w > len(morsels) {
-		w = len(morsels)
-	}
+	w := schedulableWorkers(ctx, len(morsels))
 	var stn *metrics.TraceNode
 	var morselTNs []*metrics.TraceNode
 	if ctx.Trace != nil {

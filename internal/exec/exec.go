@@ -195,12 +195,28 @@ func buildNode(ctx *Context, n plan.Node) (Cursor, error) {
 		}
 		return &projectCursor{ctx: ctx, in: in, exprs: node.Exprs}, nil
 	case *plan.Sort:
+		if rows, ok, err := morselSortRows(ctx, node, 0); err != nil {
+			return nil, err
+		} else if ok {
+			return &sortCursor{rows: rows}, nil
+		}
 		in, err := Build(ctx, node.Input)
 		if err != nil {
 			return nil, err
 		}
 		return newSortCursor(ctx, in, node.Keys)
 	case *plan.Top:
+		if s, ok := node.Input.(*plan.Sort); ok && parallelSortEligible(ctx, s) {
+			rows, tn, err := fusedTopSortRows(ctx, node, s)
+			if err != nil {
+				return nil, err
+			}
+			var in Cursor = &sortCursor{rows: rows}
+			if tn != nil {
+				in = &traceCursor{ctx: ctx, tn: tn, in: in}
+			}
+			return &topCursor{in: in, n: node.N}, nil
+		}
 		in, err := Build(ctx, node.Input)
 		if err != nil {
 			return nil, err

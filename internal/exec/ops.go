@@ -106,24 +106,38 @@ func newRowSorter(ctx *Context, keys []plan.SortKey) *rowSorter {
 }
 
 func (s *rowSorter) sortRun(r []value.Row) {
-	m := s.ctx.Tr.Model
-	sort.SliceStable(r, func(i, j int) bool {
-		for _, k := range s.keys {
-			a, b := sql.Eval(k.Expr, r[i]), sql.Eval(k.Expr, r[j])
-			c := value.Compare(a, b)
-			if k.Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
+	sortRowsCharged(s.ctx, s.keys, r)
+}
+
+// compareSortKeys orders two rows under keys: negative when a sorts
+// strictly before b, zero on a full-key tie.
+func compareSortKeys(keys []plan.SortKey, a, b value.Row) int {
+	for _, k := range keys {
+		va, vb := sql.Eval(k.Expr, a), sql.Eval(k.Expr, b)
+		c := value.Compare(va, vb)
+		if k.Desc {
+			c = -c
 		}
-		return false
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// sortRowsCharged stable-sorts one run in place and charges the
+// comparison cost — shared by the serial sorter and the per-morsel
+// local sorts of the parallel sort, so a run's charge depends only on
+// its length, never on who sorts it.
+func sortRowsCharged(ctx *Context, keys []plan.SortKey, r []value.Row) {
+	m := ctx.Tr.Model
+	sort.SliceStable(r, func(i, j int) bool {
+		return compareSortKeys(keys, r[i], r[j]) < 0
 	})
 	n := int64(len(r))
 	if n > 1 {
 		comparisons := n * int64(log2(n))
-		s.ctx.Tr.ChargeParallelCPU(vclock.CPU(comparisons*int64(len(s.keys)), m.SortCPU), 0.7)
+		ctx.Tr.ChargeParallelCPU(vclock.CPU(comparisons*int64(len(keys)), m.SortCPU), 0.7)
 	}
 }
 

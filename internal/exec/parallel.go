@@ -40,6 +40,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -54,7 +55,61 @@ import (
 var (
 	mMorselsDispatched = metrics.NewCounter("hybriddb_exec_morsels_dispatched_total", "scan morsels dispatched to parallel workers")
 	mParallelWorkers   = metrics.NewCounter("hybriddb_exec_parallel_workers_total", "worker goroutines launched for morsel-driven operators")
+	mMorselChunks      = metrics.NewCounter("hybriddb_exec_morsel_chunks_claimed_total", "contiguous morsel chunks claimed by parallel workers")
+	mBuildPartitions   = metrics.NewCounter("hybriddb_exec_build_partitions_total", "hash-join build partitions built concurrently")
 )
+
+// maxMorselChunk caps one scheduler claim: big enough to amortize the
+// claim CAS over contiguous rowgroups, small enough that the tail of a
+// scan still load-balances across workers.
+const maxMorselChunk = 8
+
+// schedulableCPUsOverride, when > 0, replaces runtime CPU detection.
+var schedulableCPUsOverride atomic.Int32
+
+// SchedulableCPUs returns the number of CPUs morsel workers can
+// actually occupy: GOMAXPROCS clamped to the physical core count —
+// raising GOMAXPROCS above NumCPU buys scheduler time-slicing, not
+// parallelism, and time-sliced workers only add fork/gather overhead.
+func SchedulableCPUs() int {
+	if n := schedulableCPUsOverride.Load(); n > 0 {
+		return int(n)
+	}
+	p := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < p {
+		p = c
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// SetSchedulableCPUs overrides the scheduler's CPU budget; 0 restores
+// runtime detection. Test-only: single-core CI machines use it to
+// force the worker pool, fork/merge, and gather paths to really run.
+func SetSchedulableCPUs(n int) { schedulableCPUsOverride.Store(int32(n)) }
+
+// schedulableWorkers right-sizes a morsel-driven operator's pool: never
+// more goroutines than morsels (idle workers still pay fork/merge) and
+// never more than schedulable CPUs (extra workers time-slice one core
+// while the gather pays real copy overhead). This is what makes
+// Workers > 1 never slower than serial on any machine: when only one
+// CPU is schedulable, every operator degrades to the inline serial
+// path with zero pool overhead.
+func schedulableWorkers(ctx *Context, nMorsels int) int {
+	w := ctx.Workers
+	if p := SchedulableCPUs(); w > p {
+		w = p
+	}
+	if w > nMorsels {
+		w = nMorsels
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // csiMorsels splits an index scan into morsels: one per compressed
 // rowgroup, plus one for the delta store (kept last so gathered output
@@ -93,23 +148,57 @@ func morselizableScan(ctx *Context, parallel bool, s *plan.Scan) (*colstore.Inde
 
 // parallelizableScan additionally requires a real worker pool: scan
 // gathers produce identical output at any worker count, so they only
-// bother decomposing when extra goroutines exist.
+// bother decomposing (and paying the gather's batch copies) when at
+// least two workers can truly run at once.
 func parallelizableScan(ctx *Context, parallel bool, s *plan.Scan) (*colstore.Index, []colstore.ScanPartition, bool) {
-	if ctx.Workers <= 1 {
+	idx, morsels, ok := morselizableScan(ctx, parallel, s)
+	if !ok || schedulableWorkers(ctx, len(morsels)) < 2 {
 		return nil, nil, false
 	}
-	return morselizableScan(ctx, parallel, s)
+	return idx, morsels, true
 }
 
 // runWorkers executes body over nMorsels morsels with w goroutines
-// pulling morsel indexes from a shared atomic counter. Each worker gets
-// a Context with its own Tracker fork; all forks are merged back into
-// ctx.Tr (in worker order, though duration sums make the order
-// irrelevant) before runWorkers returns.
+// claiming chunks of contiguous morsel indexes from a shared atomic
+// cursor (guided self-scheduling: a claim takes a share of the
+// remaining morsels, decaying to single-morsel stealing near the tail
+// so the last rowgroups still balance). Each worker gets a Context with
+// its own Tracker fork; all forks are merged back into ctx.Tr (in
+// worker order, though duration sums make the order irrelevant) before
+// runWorkers returns. With w <= 1 the morsel plan runs inline on the
+// caller's context — no fork, no goroutine, no per-morsel dispatch.
 func runWorkers(ctx *Context, w, nMorsels int, body func(wi, mi int, wctx *Context) error) error {
+	if w <= 1 {
+		mMorselsDispatched.Add(int64(nMorsels))
+		for mi := 0; mi < nMorsels; mi++ {
+			if err := body(0, mi, ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	forks := make([]*vclock.Tracker, w)
 	errs := make([]error, w)
 	var next int32
+	var chunks int64
+	claim := func() (lo, hi int, ok bool) {
+		for {
+			cur := atomic.LoadInt32(&next)
+			if int(cur) >= nMorsels {
+				return 0, 0, false
+			}
+			chunk := (nMorsels - int(cur)) / (2 * w)
+			if chunk < 1 {
+				chunk = 1
+			} else if chunk > maxMorselChunk {
+				chunk = maxMorselChunk
+			}
+			if atomic.CompareAndSwapInt32(&next, cur, cur+int32(chunk)) {
+				atomic.AddInt64(&chunks, 1)
+				return int(cur), int(cur) + chunk, true
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
 		fork := ctx.Tr.Fork()
@@ -119,13 +208,15 @@ func runWorkers(ctx *Context, w, nMorsels int, body func(wi, mi int, wctx *Conte
 		go func(wi int, wctx *Context) {
 			defer wg.Done()
 			for {
-				mi := int(atomic.AddInt32(&next, 1)) - 1
-				if mi >= nMorsels {
+				lo, hi, ok := claim()
+				if !ok {
 					return
 				}
-				if err := body(wi, mi, wctx); err != nil {
-					errs[wi] = err
-					return
+				for mi := lo; mi < hi; mi++ {
+					if err := body(wi, mi, wctx); err != nil {
+						errs[wi] = err
+						return
+					}
 				}
 			}
 		}(wi, wctx)
@@ -136,6 +227,7 @@ func runWorkers(ctx *Context, w, nMorsels int, body func(wi, mi int, wctx *Conte
 	}
 	mParallelWorkers.Add(int64(w))
 	mMorselsDispatched.Add(int64(nMorsels))
+	mMorselChunks.Add(atomic.LoadInt64(&chunks))
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -196,10 +288,7 @@ func newParallelCSIScan(ctx *Context, s *plan.Scan) (Cursor, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	w := ctx.Workers
-	if w > len(morsels) {
-		w = len(morsels)
-	}
+	w := schedulableWorkers(ctx, len(morsels))
 	outs := make([][]value.Row, len(morsels))
 	uidOuts := make([][]int64, len(morsels))
 	workerGroups := make([]int64, w)
@@ -285,13 +374,7 @@ func morselScanAggRows(ctx *Context, a *plan.Agg, scan *plan.Scan) ([]value.Row,
 	if !ok {
 		return nil, false, nil
 	}
-	w := ctx.Workers
-	if w > len(morsels) {
-		w = len(morsels)
-	}
-	if w < 1 {
-		w = 1
-	}
+	w := schedulableWorkers(ctx, len(morsels))
 	var stn *metrics.TraceNode
 	var morselTNs []*metrics.TraceNode
 	if ctx.Trace != nil {
@@ -338,19 +421,11 @@ func morselScanAggRows(ctx *Context, a *plan.Agg, scan *plan.Scan) ([]value.Row,
 		workerGroups[wi] += int64(src.sc.GroupsScanned)
 		return nil
 	}
-	if ctx.Workers > 1 {
-		if err := runWorkers(ctx, w, len(morsels), body); err != nil {
-			return nil, false, err
-		}
-	} else {
-		// Serial execution of the identical morsel plan: same sources,
-		// same charges (directly on the query tracker instead of summed
-		// through forks), same per-morsel partials.
-		for mi := range morsels {
-			if err := body(0, mi, ctx); err != nil {
-				return nil, false, err
-			}
-		}
+	// runWorkers executes the identical morsel plan at any w: with
+	// w <= 1 the same sources and charges run inline on the query
+	// tracker instead of summed through forks.
+	if err := runWorkers(ctx, w, len(morsels), body); err != nil {
+		return nil, false, err
 	}
 	annotate(stn, morselTNs, w, workerGroups)
 

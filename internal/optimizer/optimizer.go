@@ -250,6 +250,11 @@ func markNode(n plan.Node, drained bool) {
 	case *plan.Sort:
 		// Blocking: the sort drains its input regardless of the consumer.
 		markNode(v.Input, true)
+		// A sort fed directly by a parallel scan runs morsel-driven
+		// itself: per-morsel local sorts merged in morsel-index order.
+		if sc, ok := v.Input.(*plan.Scan); ok && sc.Parallel {
+			v.Parallel = true
+		}
 	case *plan.Top:
 		// TOP terminates its input early (any blocking operator below
 		// restores the guarantee beneath itself).

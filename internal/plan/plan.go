@@ -265,6 +265,12 @@ type Sort struct {
 	Est
 	Input Node
 	Keys  []SortKey
+	// Parallel marks the sort as eligible for morsel-driven execution:
+	// per-morsel local sorts over its (Parallel-marked) input scan,
+	// merged with a loser tree in morsel-index order. Set by the
+	// optimizer when the plan goes parallel and the input is a scan the
+	// sort fully drains.
+	Parallel bool
 }
 
 // Children returns the input.

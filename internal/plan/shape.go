@@ -95,7 +95,11 @@ func nodeShape(n Node) string {
 			}
 			keys = append(keys, ks)
 		}
-		return "Sort(" + strings.Join(keys, ", ") + ")"
+		s := "Sort(" + strings.Join(keys, ", ") + ")"
+		if v.Parallel {
+			s += " parallel"
+		}
+		return s
 	case *Top:
 		// N is a literal; the shape keeps only the operator.
 		return "Top"

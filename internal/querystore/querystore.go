@@ -315,10 +315,13 @@ func foldTrace(ops map[string]*opStats, tn *metrics.TraceNode, prefix string) {
 
 // nondeterministicAttr reports trace attributes that describe the real
 // worker fan-out rather than virtual execution: parallel_workers,
-// morsels, and worker<i>_rowgroups vary with ExecOptions.Parallelism
-// and with work stealing, so the store must not absorb them.
+// morsels, build_partitions, and worker<i>_rowgroups vary with
+// ExecOptions.Parallelism and with work stealing, so the store must
+// not absorb them. (parallel_sort_merge_ns is deliberately absent: the
+// merge charge is a function of the morsel fold alone, identical at
+// every worker count.)
 func nondeterministicAttr(key string) bool {
-	if key == "parallel_workers" || key == "morsels" {
+	if key == "parallel_workers" || key == "morsels" || key == "build_partitions" {
 		return true
 	}
 	if len(key) > 6 && key[:6] == "worker" {

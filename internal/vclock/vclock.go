@@ -172,6 +172,14 @@ type Tracker struct {
 	MemPeak int64
 	memCur  int64
 
+	// cpuSerial / cpuParallel decompose CPU by charge kind: work that
+	// runs on one thread regardless of DOP vs. work an ideal scheduler
+	// spreads across DOP threads. The split feeds Model.PredictedSpeedup
+	// (the Amdahl cross-check of the 40-core model against measured
+	// scaling); exchange overhead and startup are kept out of both.
+	cpuSerial   time.Duration
+	cpuParallel time.Duration
+
 	DOP           int  // degree of parallelism of the executed plan
 	parallelSetup bool // startup charged
 }
@@ -206,6 +214,7 @@ func (t *Tracker) ChargeSerialCPU(work time.Duration) {
 	}
 	t.CPU += work
 	t.CPUWall += work
+	t.cpuSerial += work
 }
 
 // ChargeParallelCPU charges work that is spread across the plan's DOP
@@ -215,6 +224,7 @@ func (t *Tracker) ChargeParallelCPU(work time.Duration, efficiency float64) {
 		work = 0
 	}
 	t.CPU += work
+	t.cpuParallel += work
 	eff := float64(t.DOP) * efficiency
 	if eff < 1 {
 		eff = 1
@@ -309,6 +319,8 @@ func (t *Tracker) Fork() *Tracker {
 func (t *Tracker) Merge(other *Tracker) {
 	t.CPU += other.CPU
 	t.CPUWall += other.CPUWall
+	t.cpuSerial += other.cpuSerial
+	t.cpuParallel += other.cpuParallel
 	t.SeqIO += other.SeqIO
 	t.RandIO += other.RandIO
 	t.BytesRead += other.BytesRead
@@ -327,26 +339,56 @@ func (t *Tracker) Merge(other *Tracker) {
 // mirroring what the paper collects via Query Store and Performance
 // Monitor.
 type Metrics struct {
-	ExecTime  time.Duration
-	CPUTime   time.Duration
-	DataRead  int64 // bytes
-	DataWrite int64 // bytes
-	MemPeak   int64 // bytes
-	DOP       int
-	Rows      int64
+	ExecTime time.Duration
+	CPUTime  time.Duration
+	// CPUSerial and CPUParallel split CPUTime by charge kind (single-
+	// threaded vs. DOP-spread work); see Model.PredictedSpeedup.
+	CPUSerial   time.Duration
+	CPUParallel time.Duration
+	DataRead    int64 // bytes
+	DataWrite   int64 // bytes
+	MemPeak     int64 // bytes
+	DOP         int
+	Rows        int64
 }
 
 // Snapshot converts the tracker's state into a Metrics value.
 func (t *Tracker) Snapshot() Metrics {
 	return Metrics{
-		ExecTime:  t.ExecTime(),
-		CPUTime:   t.CPUTime(),
-		DataRead:  t.BytesRead,
-		DataWrite: t.BytesWritten,
-		MemPeak:   t.MemPeak,
-		DOP:       t.DOP,
-		Rows:      t.RowsOut,
+		ExecTime:    t.ExecTime(),
+		CPUTime:     t.CPUTime(),
+		CPUSerial:   t.cpuSerial,
+		CPUParallel: t.cpuParallel,
+		DataRead:    t.BytesRead,
+		DataWrite:   t.BytesWritten,
+		MemPeak:     t.MemPeak,
+		DOP:         t.DOP,
+		Rows:        t.RowsOut,
 	}
+}
+
+// PredictedSpeedup returns the model's Amdahl-style prediction of the
+// real-core speedup at the given DOP for a query whose measured CPU
+// decomposition is mt: (s+p) / (s + p/dop + startup). It is the
+// 40-core model's scaling claim, cross-checked against measured
+// multi-core curves by the bench-scaling rig.
+func (m *Model) PredictedSpeedup(mt Metrics, dop int) float64 {
+	if dop < 1 {
+		dop = 1
+	}
+	if dop > m.MaxDOP {
+		dop = m.MaxDOP
+	}
+	s := float64(mt.CPUSerial)
+	p := float64(mt.CPUParallel)
+	if s+p <= 0 {
+		return 1
+	}
+	td := s + p/float64(dop)
+	if dop > 1 {
+		td += float64(m.ParallelStartup)
+	}
+	return (s + p) / td
 }
 
 // String renders metrics compactly for logs and examples.

@@ -51,7 +51,23 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-run Program shared by every pass: the loaded
+	// package set, the function-declaration index, the CFG cache, and
+	// the project-local call graph. May be nil when a Pass is built by
+	// hand in tests; the flow-aware facilities below tolerate that.
+	Prog *Program
+
 	diags []Diagnostic
+}
+
+// CFG returns the control-flow graph of fn, cached across analyzers
+// for the duration of the run. Without a Program (hand-built passes)
+// it builds the graph uncached.
+func (p *Pass) CFG(fn *ast.FuncDecl) *CFG {
+	if p.Prog != nil {
+		return p.Prog.CFG(fn)
+	}
+	return BuildCFG(fn.Body)
 }
 
 // Reportf records a finding.

@@ -1,0 +1,184 @@
+// Package atomicfield forbids mixed atomic/plain access to struct
+// fields: a field touched through sync/atomic anywhere in the package
+// (atomic.LoadInt32(&s.f), atomic.CompareAndSwapInt64(&s.f, ...), ...)
+// may not also be read or written with ordinary loads and stores
+// outside package init.
+//
+// This is the chunked-claim scheduler's failure mode: the morsel
+// cursor is CAS-claimed by every worker, and one forgotten plain read
+// ("it's just a progress check") is a data race the race detector only
+// catches if a test happens to interleave it. Plain access to a
+// CAS-protected word doesn't merely race — it can tear the scheduler's
+// claim protocol, handing the same morsel to two workers, and a morsel
+// executed twice double-charges its vclock costs, breaking the
+// bit-identical Metrics contract the scaling benchmarks compare
+// against.
+//
+// Plain access is allowed inside `func init()` (single-goroutine by
+// the language spec, the sanctioned place to seed counters); any other
+// pre-publication initialization (constructors) takes a written
+// //lint:ignore justification — it is genuinely unprovable statically
+// that the value has not escaped yet, so the reviewer gets to decide.
+//
+// The field set is collected per package, which matches reality:
+// atomically-accessed fields are unexported in this codebase, so every
+// access site is in the declaring package. Fields of type atomic.Int64
+// & friends need no analyzer — the type system already prevents plain
+// access — and are therefore the recommended fix for any diagnostic
+// from this analyzer.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hybriddb/internal/analysis"
+)
+
+// New returns a fresh atomicfield analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "atomicfield",
+		Doc:  "a struct field accessed via sync/atomic may not also be accessed plainly outside init",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields that appear as &x.f arguments to sync/atomic
+	// calls, and the sanctioned selector positions inside those calls.
+	atomicFields := map[*types.Var]token.Position{}
+	sanctioned := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field := fieldOf(pass, sel)
+				if field == nil {
+					continue
+				}
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = pass.Fset.Position(call.Pos())
+				}
+				sanctioned[sel.Pos()] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields is a plain access.
+	// Report deterministically in file/position order (ast walk order).
+	type plainUse struct {
+		pos   token.Pos
+		field *types.Var
+	}
+	var plain []plainUse
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && fd.Name.Name == "init" && fd.Recv == nil {
+				continue // language-serialized package init
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field := fieldOf(pass, sel)
+				if field == nil || sanctioned[sel.Pos()] {
+					return true
+				}
+				if _, isAtomic := atomicFields[field]; isAtomic {
+					plain = append(plain, plainUse{pos: sel.Pos(), field: field})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(plain, func(i, j int) bool { return plain[i].pos < plain[j].pos })
+	for _, p := range plain {
+		at := atomicFields[p.field]
+		pass.Reportf(p.pos, "plain access to field %s.%s, which is accessed via sync/atomic (%s:%d); mixed access races with the CAS protocol — use the atomic helpers or an atomic.%s-typed field",
+			ownerName(p.field), p.field.Name(), at.Filename, at.Line, suggestType(p.field))
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the struct field it selects (nil for
+// methods, package selectors, and non-field selections).
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// ownerName names the struct type declaring the field, best effort.
+func ownerName(field *types.Var) string {
+	if field.Pkg() == nil {
+		return "?"
+	}
+	// Search the declaring package's named types for the field.
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn.Name()
+			}
+		}
+	}
+	return field.Pkg().Name()
+}
+
+// suggestType maps a field's plain type to the atomic wrapper to
+// recommend in the diagnostic.
+func suggestType(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	if _, ok := field.Type().Underlying().(*types.Pointer); ok {
+		return "Pointer[T]"
+	}
+	return "Value"
+}

@@ -143,6 +143,21 @@ func batchBoundary(name string) bool {
 	return name == "NextBatch" || name == "Batch"
 }
 
+// IsScratchField reports whether sel selects a scratch buffer field
+// under bufalias's classification (batch-typed, or slice-bearing with
+// a scratch/buf/sel name, declared in the analyzed package). Exported
+// for goroutinelife, which applies the same class to goroutine
+// captures from a lifetime angle: a worker outliving its spawner reads
+// a buffer the owner has already recycled.
+func IsScratchField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	return isScratchField(pass, sel)
+}
+
+// FieldName renders a flagged selector as owner.field for messages.
+func FieldName(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	return fieldName(pass, sel)
+}
+
 // isScratchField reports whether sel selects a scratch buffer field: a
 // field declared in the analyzed package that is either batch-typed or
 // slice-bearing with a scratch-ish name.

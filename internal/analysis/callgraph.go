@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Program is the whole-run view the flow-aware analyzers share: every
+// loaded package, an index from *types.Func to its declaration, a
+// per-function CFG cache, and a project-local static call graph. One
+// Program is built per RunAnalyzers invocation and handed to every
+// Pass, so interprocedural analyzers (lockorder's one-level descent,
+// errflow's wrapper fixpoint) see the same function set regardless of
+// which package they are currently reporting on.
+//
+// "Project-local" means: functions declared in the loaded target
+// packages. Dependencies (stdlib included) are visible only as
+// *types.Func without bodies; FuncOf returns nil for them and callers
+// must treat such calls opaquely.
+type Program struct {
+	Pkgs []*Package
+
+	funcs   map[*types.Func]*ProgFunc
+	ordered []*ProgFunc
+	cfgs    map[*ast.FuncDecl]*CFG
+	callees map[*ast.FuncDecl][]*types.Func
+}
+
+// ProgFunc is one project-local function or method declaration.
+type ProgFunc struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// NewProgram indexes the loaded packages' function declarations.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:    pkgs,
+		funcs:   map[*types.Func]*ProgFunc{},
+		cfgs:    map[*ast.FuncDecl]*CFG{},
+		callees: map[*ast.FuncDecl][]*types.Func{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				pf := &ProgFunc{Fn: fn, Decl: fd, Pkg: pkg}
+				p.funcs[fn] = pf
+				p.ordered = append(p.ordered, pf)
+			}
+		}
+	}
+	// Packages load in sorted import-path order and files in go list
+	// order, so ordered is already deterministic; sort anyway so the
+	// iteration order is insensitive to loader changes.
+	sort.SliceStable(p.ordered, func(i, j int) bool {
+		a, b := p.ordered[i], p.ordered[j]
+		if a.Pkg.ImportPath != b.Pkg.ImportPath {
+			return a.Pkg.ImportPath < b.Pkg.ImportPath
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	return p
+}
+
+// FuncOf returns the project-local declaration of fn, or nil when fn
+// is not declared in a loaded target package (stdlib, dependencies,
+// interface methods, func-typed values).
+func (p *Program) FuncOf(fn *types.Func) *ProgFunc {
+	if fn == nil {
+		return nil
+	}
+	return p.funcs[fn]
+}
+
+// Funcs returns every project-local function in deterministic order
+// (import path, then declaration position).
+func (p *Program) Funcs() []*ProgFunc { return p.ordered }
+
+// CFG returns the (cached) control-flow graph of a declaration.
+func (p *Program) CFG(decl *ast.FuncDecl) *CFG {
+	if c, ok := p.cfgs[decl]; ok {
+		return c
+	}
+	c := BuildCFG(decl.Body)
+	p.cfgs[decl] = c
+	return c
+}
+
+// Callees returns the static callees of pf's body in source order,
+// deduplicated: every *types.Func a call expression resolves to,
+// including stdlib and dependency functions (filter with FuncOf for
+// project-local ones). Calls inside nested *ast.FuncLit bodies are
+// excluded — a literal runs when invoked, not when its enclosing
+// function does, so charging its calls to the enclosing function would
+// poison call-graph walks with edges that never execute on this
+// function's paths.
+func (p *Program) Callees(pf *ProgFunc) []*types.Func {
+	if out, ok := p.callees[pf.Decl]; ok {
+		return out
+	}
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	if pf.Decl.Body != nil {
+		ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := CalleeFunc(pf.Pkg.TypesInfo, call); fn != nil && !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+			return true
+		})
+	}
+	p.callees[pf.Decl] = out
+	return out
+}

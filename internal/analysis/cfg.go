@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is a per-function control-flow graph over the statements of one
+// function body. It is the flow-aware substrate the path-sensitive
+// analyzers (chargeparity, goroutinelife) run their dataflow on; the
+// AST-walk analyzers keep working without it.
+//
+// Granularity: every Block holds a sequence of "straight-line" AST
+// nodes — simple statements plus the condition/tag expressions a block
+// evaluates — in execution order. Control statements themselves never
+// appear as nodes; they are encoded as edges. Statements inside a
+// nested *ast.FuncLit body do not appear at all (they execute when the
+// literal is called, not here); build a separate CFG from the
+// literal's body to analyze it.
+//
+// A `return` edges to the synthetic Exit block. A statement that
+// cannot complete normally — panic(...), os.Exit, and the log.Fatal*
+// family — terminates its block with no successors, so exit-parity
+// analyses do not demand cleanup on paths that abandon the function.
+// Code after a return/branch/panic lands in a fresh block that no edge
+// reaches; dataflow from Entry never visits it, which is exactly the
+// treatment unreachable code deserves.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // synthetic: reached by falling off the end or by return
+	Blocks []*Block
+}
+
+// Block is one straight-line node sequence with its successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// BuildCFG builds the graph for one function body. The body may be
+// nil (declarations without bodies yield a trivial Entry→Exit graph).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+// ReachableFrom returns every block reachable from b, including b.
+func (c *CFG) ReachableFrom(b *Block) map[*Block]bool {
+	seen := map[*Block]bool{b: true}
+	work := []*Block{b}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range cur.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// NodesAfter visits every CFG node strictly after node n in execution
+// order: the rest of n's block, then every node of every reachable
+// successor block (each block once — loops revisit nodes at runtime,
+// but once is enough for reachability-style queries). It reports
+// whether n was found in the graph at all.
+func (c *CFG) NodesAfter(n ast.Node, visit func(ast.Node)) bool {
+	for _, blk := range c.Blocks {
+		for i, node := range blk.Nodes {
+			if node != n {
+				continue
+			}
+			for _, rest := range blk.Nodes[i+1:] {
+				visit(rest)
+			}
+			seen := map[*Block]bool{}
+			var walk func(*Block)
+			walk = func(b *Block) {
+				for _, s := range b.Succs {
+					if seen[s] {
+						continue
+					}
+					seen[s] = true
+					for _, node := range s.Nodes {
+						visit(node)
+					}
+					walk(s)
+				}
+			}
+			walk(blk)
+			return true
+		}
+	}
+	return false
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// branchTarget is one open break/continue scope.
+type branchTarget struct {
+	label     string // statement label, "" if none
+	breakTo   *Block
+	contTo    *Block // nil for switch/select scopes
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block
+	scopes  []branchTarget
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	// pendingLabel is the label of the LabeledStmt currently being
+	// entered; the next loop/switch consumes it as its branch label.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock finishes cur with an edge into a fresh block.
+func (b *cfgBuilder) startBlock() *Block {
+	nb := b.newBlock()
+	b.edge(b.cur, nb)
+	b.cur = nb
+	return nb
+}
+
+// terminate abandons cur: subsequent statements land in a detached
+// (unreachable) block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminatesFlow(s.X) {
+			b.terminate()
+		}
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		// A fresh block at the label so goto can target it.
+		target := b.startBlock()
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	}
+}
+
+// terminatesFlow reports whether a statement expression never returns:
+// panic, os.Exit, log.Fatal*, runtime.Goexit. Matching is syntactic
+// (the CFG is type-free); shadowing these names would be perverse.
+func terminatesFlow(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fn.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+				return true
+			case pkg.Name == "runtime" && fn.Sel.Name == "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: name})
+		b.terminate()
+	case token.BREAK:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if name == "" || sc.label == name {
+				b.edge(b.cur, sc.breakTo)
+				break
+			}
+		}
+		b.terminate()
+	case token.CONTINUE:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if sc.contTo != nil && (name == "" || sc.label == name) {
+				b.edge(b.cur, sc.contTo)
+				break
+			}
+		}
+		b.terminate()
+	case token.FALLTHROUGH:
+		// Must be the last statement of a case body: leave the block
+		// open so switchBody can wire it into the next clause.
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	condBlk := b.cur
+	after := b.newBlock()
+
+	thenBlk := b.newBlock()
+	b.edge(condBlk, thenBlk)
+	b.cur = thenBlk
+	b.stmts(s.Body.List)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		elseBlk := b.newBlock()
+		b.edge(condBlk, elseBlk)
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(condBlk, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.startBlock()
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+
+	body := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after) // condition false
+	}
+	b.scopes = append(b.scopes, branchTarget{label: label, breakTo: after, contTo: post})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X)
+	head := b.startBlock()
+	after := b.newBlock()
+	b.edge(head, after) // range exhausted
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.scopes = append(b.scopes, branchTarget{label: label, breakTo: after, contTo: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.scopes = append(b.scopes, branchTarget{label: label, breakTo: after})
+
+	// Build each clause's body block first so fallthrough can wire
+	// clause i into clause i+1.
+	var clauseBlocks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauses = append(clauses, cc)
+		clauseBlocks = append(clauseBlocks, b.newBlock())
+	}
+	for i, cc := range clauses {
+		blk := clauseBlocks[i]
+		b.edge(dispatch, blk)
+		b.cur = blk
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmts(cc.Body)
+		if fallsThrough && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1])
+			b.terminate()
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.scopes = append(b.scopes, branchTarget{label: label, breakTo: after})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(dispatch, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns its CFG plus a
+// lookup from a marker comment-free statement rendering trick: we find
+// statements by the name of the called function (each test statement
+// is a distinct f<N>() call).
+func buildFromSrc(t *testing.T, body string) (*CFG, map[string]ast.Node) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	cfg := BuildCFG(fn.Body)
+	calls := map[string]ast.Node{}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok {
+						calls[id.Name] = n
+					}
+				}
+				return true
+			})
+		}
+	}
+	return cfg, calls
+}
+
+// after returns the called-function names reachable strictly after the
+// statement containing a call to name.
+func after(t *testing.T, cfg *CFG, calls map[string]ast.Node, name string) map[string]bool {
+	t.Helper()
+	n, ok := calls[name]
+	if !ok {
+		t.Fatalf("no statement calling %s in CFG", name)
+	}
+	out := map[string]bool{}
+	found := cfg.NodesAfter(n, func(m ast.Node) {
+		ast.Inspect(m, func(x ast.Node) bool {
+			if c, ok := x.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+			return true
+		})
+	})
+	if !found {
+		t.Fatalf("NodesAfter did not locate the %s statement", name)
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg, calls := buildFromSrc(t, "f1(); f2(); f3()")
+	got := after(t, cfg, calls, "f1")
+	if !got["f2"] || !got["f3"] {
+		t.Errorf("after f1 = %v, want f2 and f3", got)
+	}
+	if got := after(t, cfg, calls, "f3"); len(got) != 0 {
+		t.Errorf("after f3 = %v, want empty", got)
+	}
+	if cfg.Entry == nil || cfg.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+}
+
+func TestCFGBranchesAndLoops(t *testing.T) {
+	cfg, calls := buildFromSrc(t, `
+	if cond() {
+		f1()
+		return
+	}
+	for i := 0; i < 10; i++ {
+		if skip() {
+			continue
+		}
+		f2()
+		if done() {
+			break
+		}
+	}
+	f3()`)
+	// f1 is on the early-return path: f3 must NOT be after it.
+	if got := after(t, cfg, calls, "f1"); got["f3"] {
+		t.Errorf("f3 reachable after early return: %v", got)
+	}
+	// f2 is in the loop: both itself (back edge) and f3 follow.
+	got := after(t, cfg, calls, "f2")
+	if !got["f2"] || !got["f3"] || !got["skip"] {
+		t.Errorf("after f2 = %v, want f2 (loop), skip (back edge), f3 (exit)", got)
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	cfg, calls := buildFromSrc(t, `
+	if bad() {
+		f1()
+		panic("no")
+	}
+	f2()`)
+	if got := after(t, cfg, calls, "f1"); got["f2"] {
+		t.Errorf("f2 reachable after panic: %v", got)
+	}
+	// The panic path must not reach Exit: every Exit predecessor
+	// comes from the fallthrough path.
+	reach := cfg.ReachableFrom(cfg.Entry)
+	if !reach[cfg.Exit] {
+		t.Fatal("exit unreachable from entry")
+	}
+}
+
+func TestCFGSwitchSelectRange(t *testing.T) {
+	cfg, calls := buildFromSrc(t, `
+	switch tag() {
+	case 1:
+		f1()
+	case 2:
+		f2()
+		fallthrough
+	case 3:
+		f3()
+	default:
+		f4()
+	}
+	for range items() {
+		f5()
+	}
+	select {
+	case <-ch():
+		f6()
+	}
+	f7()`)
+	got := after(t, cfg, calls, "f2")
+	if !got["f3"] {
+		t.Errorf("fallthrough edge missing: after f2 = %v", got)
+	}
+	if got["f1"] || got["f4"] {
+		t.Errorf("cross-clause edge: after f2 = %v", got)
+	}
+	for _, name := range []string{"f1", "f3", "f4", "f5", "f6"} {
+		if got := after(t, cfg, calls, name); !got["f7"] {
+			t.Errorf("f7 not reachable after %s: %v", name, got)
+		}
+	}
+}
+
+func TestCFGLabeledBreakAndGoto(t *testing.T) {
+	cfg, calls := buildFromSrc(t, `
+outer:
+	for {
+		for {
+			if done() {
+				break outer
+			}
+			f1()
+		}
+	}
+	f2()
+	goto end
+	f3()
+end:
+	f4()`)
+	if got := after(t, cfg, calls, "f1"); !got["f2"] {
+		t.Errorf("labeled break lost: after f1 = %v", got)
+	}
+	got := after(t, cfg, calls, "f2")
+	if !got["f4"] || got["f3"] {
+		t.Errorf("goto edge wrong: after f2 = %v (want f4, not f3)", got)
+	}
+}
+
+func TestCFGNestedFuncLitExcluded(t *testing.T) {
+	cfg, _ := buildFromSrc(t, `
+	g := func() {
+		inner()
+	}
+	g()`)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if call, ok := n.(*ast.ExprStmt); ok {
+				if id, ok := call.X.(*ast.CallExpr); ok {
+					if name, ok := id.Fun.(*ast.Ident); ok && strings.Contains(name.Name, "inner") {
+						t.Error("func-lit body statement leaked into outer CFG")
+					}
+				}
+			}
+		}
+	}
+}

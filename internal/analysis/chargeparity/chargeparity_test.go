@@ -1,0 +1,12 @@
+package chargeparity_test
+
+import (
+	"testing"
+
+	"hybriddb/internal/analysis/analysistest"
+	"hybriddb/internal/analysis/chargeparity"
+)
+
+func TestChargeParity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), chargeparity.New(), "./src/chargeparity/...")
+}

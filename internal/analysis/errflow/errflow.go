@@ -11,6 +11,18 @@
 // to _ stays legal as the explicit, greppable opt-out, and
 // //lint:ignore works like everywhere else.
 //
+// The rule is interprocedural through project-local wrappers: an
+// error-returning function that calls into a guarded package (or into
+// another such wrapper — the carrier set is a fixpoint over the shared
+// call graph) CARRIES a guarded error, and dropping the wrapper's
+// error swallows the underlying storage/btree/colstore failure just as
+// silently as dropping the direct call would. The carrier test is a
+// conservative approximation — "returns an error AND calls a guarded
+// error-returning function" — rather than a proof that the one flows
+// to the other; a wrapper that genuinely consumes the guarded error
+// and returns an unrelated one earns a //lint:ignore with the
+// explanation in writing.
+//
 // Packages are matched by import-path element, so the fixture mirrors
 // under internal/analysis/testdata exercise the same predicate.
 package errflow
@@ -25,16 +37,31 @@ import (
 // guarded lists the package path elements whose errors must flow.
 var guarded = map[string]bool{"storage": true, "btree": true, "colstore": true}
 
-// New returns a fresh errflow analyzer.
+// New returns a fresh errflow analyzer. The instance caches the
+// carrier fixpoint for the Program it is run against, so the
+// whole-graph computation happens once per lint run, not once per
+// package.
 func New() *analysis.Analyzer {
+	e := &errflow{}
 	return &analysis.Analyzer{
 		Name: "errflow",
-		Doc:  "flag dropped errors from storage, btree, and colstore calls",
-		Run:  run,
+		Doc:  "flag dropped errors from storage, btree, and colstore calls, including through project-local wrappers",
+		Run:  e.run,
 	}
 }
 
-func run(pass *analysis.Pass) error {
+type errflow struct {
+	prog *analysis.Program
+	// carriers maps a project-local function to the guarded package
+	// element whose error it (transitively) returns.
+	carriers map[*types.Func]string
+}
+
+func (e *errflow) run(pass *analysis.Pass) error {
+	if pass.Prog != nil && e.prog != pass.Prog {
+		e.prog = pass.Prog
+		e.carriers = carrierFixpoint(pass.Prog)
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var call *ast.CallExpr
@@ -50,17 +77,59 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			fn := analysis.CalleeFunc(pass.TypesInfo, call)
-			if fn == nil || fn.Pkg() == nil || !guarded[analysis.PkgElem(fn.Pkg().Path())] {
+			if fn == nil || fn.Pkg() == nil || !returnsError(fn) {
 				return true
 			}
-			if !returnsError(fn) {
+			if elem := analysis.PkgElem(fn.Pkg().Path()); guarded[elem] {
+				pass.Reportf(call.Pos(), "error returned by %s.%s is dropped; %s mutations must not fail silently", elem, fn.Name(), elem)
 				return true
 			}
-			pass.Reportf(call.Pos(), "error returned by %s.%s is dropped; %s mutations must not fail silently", analysis.PkgElem(fn.Pkg().Path()), fn.Name(), analysis.PkgElem(fn.Pkg().Path()))
+			if src, isCarrier := e.carriers[fn]; isCarrier {
+				pass.Reportf(call.Pos(), "error returned by %s is dropped; it carries a %s error, and %s mutations must not fail silently", fn.Name(), src, src)
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// carrierFixpoint computes the set of project-local error-returning
+// functions that call into a guarded package, directly or through
+// other carriers. Iterating the whole function list until no function
+// changes classification handles wrapper chains of any depth and needs
+// no call-order luck; the graph is small enough that the quadratic
+// worst case is irrelevant.
+func carrierFixpoint(prog *analysis.Program) map[*types.Func]string {
+	carriers := map[*types.Func]string{}
+	for changed := true; changed; {
+		changed = false
+		for _, pf := range prog.Funcs() {
+			if _, done := carriers[pf.Fn]; done || !returnsError(pf.Fn) {
+				continue
+			}
+			// A guarded-package function is its own source, not a
+			// wrapper; the direct rule already covers calls to it.
+			if guarded[analysis.PkgElem(pf.Fn.Pkg().Path())] {
+				continue
+			}
+			for _, callee := range prog.Callees(pf) {
+				if callee.Pkg() == nil || !returnsError(callee) {
+					continue
+				}
+				if elem := analysis.PkgElem(callee.Pkg().Path()); guarded[elem] {
+					carriers[pf.Fn] = elem
+					changed = true
+					break
+				}
+				if src, isCarrier := carriers[callee]; isCarrier {
+					carriers[pf.Fn] = src
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return carriers
 }
 
 // returnsError reports whether fn's results include an error.

@@ -2,8 +2,10 @@ package analysis_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"go/ast"
 	"go/token"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -45,29 +47,33 @@ func TestSuppressionAndMalformed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// flaggedVar + malformedIgnoreAbove's var + the malformed lint
-	// comment itself are findings; suppressedVar is suppressed.
+	// Findings: flaggedVar, malformedIgnoreAbove's var, wrongAnalyzerVar,
+	// malformedBlockAbove's var, plus the two malformed lint comments
+	// themselves. Suppressed: the line-comment, block-comment,
+	// multi-line-block, and comma-list vars.
 	var msgs []string
 	for _, f := range findings {
 		msgs = append(msgs, f.Analyzer+": "+f.Message)
 	}
-	if len(findings) != 3 {
-		t.Fatalf("got %d findings, want 3: %v", len(findings), msgs)
+	if len(findings) != 6 {
+		t.Fatalf("got %d findings, want 6: %v", len(findings), msgs)
 	}
 	malformed := 0
 	for _, f := range findings {
-		if f.Analyzer == "lint" && strings.Contains(f.Message, "malformed //lint:ignore") {
+		if f.Analyzer == "lint" && strings.Contains(f.Message, "malformed lint:ignore") {
 			malformed++
 		}
 	}
-	if malformed != 1 {
-		t.Errorf("got %d malformed-ignore findings, want 1: %v", malformed, msgs)
+	if malformed != 2 {
+		t.Errorf("got %d malformed-ignore findings, want 2: %v", malformed, msgs)
 	}
-	if len(suppressed) != 1 {
-		t.Fatalf("got %d suppressed, want 1", len(suppressed))
+	if len(suppressed) != 4 {
+		t.Fatalf("got %d suppressed, want 4", len(suppressed))
 	}
-	if !strings.Contains(suppressed[0].Message, "var declaration") {
-		t.Errorf("suppressed finding = %q", suppressed[0].Message)
+	for _, f := range suppressed {
+		if !strings.Contains(f.Message, "var declaration") {
+			t.Errorf("suppressed finding = %q", f.Message)
+		}
 	}
 }
 
@@ -91,7 +97,7 @@ func TestMainExitCodes(t *testing.T) {
 	if !strings.Contains(out.String(), "framework-dummy: var declaration") {
 		t.Errorf("missing diagnostic line: %q", out.String())
 	}
-	if !strings.Contains(errOut.String(), "1 suppressed") {
+	if !strings.Contains(errOut.String(), "4 suppressed") {
 		t.Errorf("missing suppression count: %q", errOut.String())
 	}
 
@@ -108,5 +114,52 @@ func TestMainExitCodes(t *testing.T) {
 	errOut.Reset()
 	if code := analysis.Main(&out, &errOut, []*analysis.Analyzer{clean}, []string{"-dir", td, "./src/definitely-missing"}); code != analysis.ExitError {
 		t.Fatalf("load-error exit = %d, want %d", code, analysis.ExitError)
+	}
+}
+
+// -json emits every diagnostic (suppressed ones marked) as one array;
+// -counts writes the totals the budget gate consumes. Exit codes are
+// unchanged by either flag.
+func TestMainJSONAndCounts(t *testing.T) {
+	var out, errOut bytes.Buffer
+	countsPath := filepath.Join(t.TempDir(), "nested", "lint-counts.txt")
+	code := analysis.Main(&out, &errOut, []*analysis.Analyzer{dummy()},
+		[]string{"-dir", testdata(t), "-json", "-counts", countsPath, "./src/framework"})
+	if code != analysis.ExitDiags {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, analysis.ExitDiags, errOut.String())
+	}
+
+	var got []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	unsuppressed, suppressed := 0, 0
+	for _, f := range got {
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+		if f.Suppressed {
+			suppressed++
+		} else {
+			unsuppressed++
+		}
+	}
+	if unsuppressed != 6 || suppressed != 4 {
+		t.Errorf("got %d unsuppressed / %d suppressed, want 6/4", unsuppressed, suppressed)
+	}
+
+	counts, err := os.ReadFile(countsPath)
+	if err != nil {
+		t.Fatalf("counts file: %v", err)
+	}
+	if want := "unsuppressed 6\nsuppressed 4\n"; string(counts) != want {
+		t.Errorf("counts = %q, want %q", counts, want)
 	}
 }

@@ -1,0 +1,556 @@
+// Package goroutinelife enforces goroutine lifecycle discipline in the
+// engine's execution packages (internal/exec, internal/engine — matched
+// by import-path element, so the testdata mirrors exercise the same
+// predicate).
+//
+// The engine's concurrency model is strictly fork/join: morsel workers
+// and partition builders are spawned, do bounded work, and are joined
+// before the operator returns (runWorkers' WaitGroup, the partitioned
+// build's per-batch barrier). A goroutine with no reachable join is a
+// leak with teeth here, not a style nit: the statement lock is released
+// when the statement returns, so a straggler worker touches tables,
+// trackers, and trace nodes concurrently with the next statement —
+// exactly the nondeterminism the vclock contract forbids. Three rules:
+//
+//   - every `go` statement must have a reachable join in its spawning
+//     function: a Wait on a WaitGroup the goroutine Done()s, a
+//     receive/range/select on a channel the goroutine sends to or
+//     closes, or a call into a project-local helper that performs one
+//     of those on the same object (pool-shutdown idiom; the analysis
+//     follows reachable calls one level through the call graph);
+//   - the goroutine must not capture an enclosing loop's induction
+//     variable: worker identity must be pinned by argument (the
+//     `go func(wi int) {...}(wi)` idiom). Go 1.22 made the classic
+//     race per-iteration-safe, but the engine's trace attributes
+//     (worker%d_rowgroups) and charge bookkeeping key on the spawn-time
+//     value, and a variable declared *outside* the loop and mutated by
+//     it is still shared state;
+//   - the goroutine must not capture bufalias-class scratch state (the
+//     reused selection/batch buffers): a worker that outlives one
+//     NextBatch call reads a buffer its owner has already recycled.
+//
+// Join detection is a reachability query over the CFG facility
+// (Pass.CFG): the join must be reachable from the go statement. A
+// spawn on a path that can return without passing any join is the bug
+// this analyzer exists for.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hybriddb/internal/analysis"
+	"hybriddb/internal/analysis/bufalias"
+)
+
+// New returns a fresh goroutinelife analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "goroutinelife",
+		Doc:  "every goroutine in exec/engine needs a reachable join, and may not capture loop variables or scratch buffers",
+		Run:  run,
+	}
+}
+
+// scoped lists the package path elements under lifecycle discipline.
+var scoped = map[string]bool{"exec": true, "engine": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !scoped[analysis.PkgElem(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	cfg := pass.CFG(fn)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			checkJoin(pass, cfg, fn, gs)
+			checkLoopCapture(pass, fn, gs)
+			checkScratchCapture(pass, gs)
+		}
+	}
+}
+
+// joinSignals is what a goroutine body offers to be joined on.
+type joinSignals struct {
+	wgs   map[types.Object]bool // WaitGroups the body calls Done on
+	chans map[types.Object]bool // channels the body sends on or closes
+	any   bool                  // true when the body is opaque (no visible signals)
+}
+
+// collectSignals inspects the spawned body: a func literal directly,
+// or — one level through the call graph — the declaration of a
+// project-local callee, mapping parameter-carried WaitGroups/channels
+// back to the caller's argument objects.
+func collectSignals(pass *analysis.Pass, gs *ast.GoStmt) joinSignals {
+	sig := joinSignals{wgs: map[types.Object]bool{}, chans: map[types.Object]bool{}}
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		collectBodySignals(pass, fun.Body, &sig, nil)
+		return sig
+	default:
+		callee := analysis.CalleeFunc(pass.TypesInfo, gs.Call)
+		pf := projectFunc(pass, callee)
+		if pf == nil || pf.Decl.Body == nil {
+			// Opaque spawn: nothing visible to join on.
+			sig.any = true
+			return sig
+		}
+		// Map callee-parameter signals back to caller arguments.
+		paramObj := map[types.Object]int{}
+		i := 0
+		if pf.Decl.Type.Params != nil {
+			for _, field := range pf.Decl.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := pf.Pkg.TypesInfo.Defs[name]; obj != nil {
+						paramObj[obj] = i
+					}
+					i++
+				}
+			}
+		}
+		var calleeSig joinSignals
+		calleeSig.wgs = map[types.Object]bool{}
+		calleeSig.chans = map[types.Object]bool{}
+		collectBodySignals(passFor(pass, pf), pf.Decl.Body, &calleeSig, nil)
+		for obj := range calleeSig.wgs {
+			sig.mapBack(pass, gs, paramObj, obj, true)
+		}
+		for obj := range calleeSig.chans {
+			sig.mapBack(pass, gs, paramObj, obj, false)
+		}
+		if len(sig.wgs) == 0 && len(sig.chans) == 0 {
+			sig.any = true
+		}
+		return sig
+	}
+}
+
+// mapBack translates one callee-side signal object into the caller's
+// frame: a parameter maps to the argument's base object; a package
+// level or field object is shared state visible to both sides and maps
+// to itself.
+func (s *joinSignals) mapBack(pass *analysis.Pass, gs *ast.GoStmt, paramObj map[types.Object]int, obj types.Object, isWG bool) {
+	set := s.chans
+	if isWG {
+		set = s.wgs
+	}
+	if idx, isParam := paramObj[obj]; isParam {
+		if idx < len(gs.Call.Args) {
+			if base := baseObj(pass, gs.Call.Args[idx]); base != nil {
+				set[base] = true
+			}
+		}
+		return
+	}
+	set[obj] = true
+}
+
+// projectFunc resolves a *types.Func to its project-local declaration
+// via the shared Program (nil for stdlib/opaque callees).
+func projectFunc(pass *analysis.Pass, fn *types.Func) *analysis.ProgFunc {
+	if pass.Prog == nil || fn == nil {
+		return nil
+	}
+	return pass.Prog.FuncOf(fn)
+}
+
+// passFor builds a lookup view for another package's declarations: the
+// TypesInfo must come from the package that owns the declaration.
+func passFor(pass *analysis.Pass, pf *analysis.ProgFunc) *analysis.Pass {
+	if pf.Pkg.TypesInfo == pass.TypesInfo {
+		return pass
+	}
+	return &analysis.Pass{
+		Analyzer:  pass.Analyzer,
+		Fset:      pf.Pkg.Fset,
+		Files:     pf.Pkg.Files,
+		Pkg:       pf.Pkg.Types,
+		TypesInfo: pf.Pkg.TypesInfo,
+		Prog:      pass.Prog,
+	}
+}
+
+// collectBodySignals walks a goroutine body for Done() receivers and
+// channel sends/closes. Nested go statements are skipped (their joins
+// are their own spawner's problem — which is this same analyzer run on
+// that function).
+func collectBodySignals(pass *analysis.Pass, body ast.Node, sig *joinSignals, skip ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == skip {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if obj := baseObj(pass, n.Chan); obj != nil {
+				sig.chans[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if obj := baseObj(pass, n.Args[0]); obj != nil {
+						sig.chans[obj] = true
+					}
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isWaitGroupMethod(pass, sel) {
+					if obj := baseObj(pass, sel.X); obj != nil {
+						sig.wgs[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isWaitGroupMethod reports whether sel resolves to a sync.WaitGroup
+// method.
+func isWaitGroupMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && recvNamed(fn) == "WaitGroup"
+}
+
+func recvNamed(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// baseObj resolves the object an expression ultimately names: an
+// ident's object, or for selector chains (c.wg, p.pool.wg) the field
+// object of the final selection — fields are shared between the
+// goroutine and the joiner, so field identity is join identity.
+func baseObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Uses[e]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.UnaryExpr:
+		return baseObj(pass, e.X)
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok {
+			return s.Obj()
+		}
+		if o := pass.TypesInfo.Uses[e.Sel]; o != nil {
+			return o
+		}
+	}
+	return nil
+}
+
+// checkJoin verifies every path from the go statement to a normal
+// return passes a join on the goroutine's signals. Some-path joins are
+// not enough: runWorkers must Wait before EVERY return, or the skipped
+// path leaks the workers past the statement lock.
+func checkJoin(pass *analysis.Pass, cfg *analysis.CFG, fn *ast.FuncDecl, gs *ast.GoStmt) {
+	sig := collectSignals(pass, gs)
+	calleeMemo := map[*ast.FuncDecl]bool{}
+
+	// A deferred join (defer wg.Wait()) runs on every exit path,
+	// including ones that return before any inline join — and one
+	// registered before the go statement still joins after it runs.
+	// Defers inside nested function literals run when those are called,
+	// not on this function's exit, so they are skipped.
+	deferred := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if deferred {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok && callJoins(pass, ds.Call, sig, calleeMemo) {
+			deferred = true
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+
+	var spawnBlk *analysis.Block
+	spawnIdx := -1
+	for _, blk := range cfg.Blocks {
+		for i, n := range blk.Nodes {
+			if n == gs {
+				spawnBlk, spawnIdx = blk, i
+				break
+			}
+		}
+		if spawnBlk != nil {
+			break
+		}
+	}
+	if spawnBlk == nil {
+		return
+	}
+	// The rest of the spawn block is straight-line: a join here covers
+	// every path.
+	for _, n := range spawnBlk.Nodes[spawnIdx+1:] {
+		if nodeJoins(pass, n, sig, calleeMemo) {
+			return
+		}
+	}
+	// Forward search: does any path reach Exit without passing a join?
+	// Panic-terminated blocks have no successors and abandon the
+	// function, so they neither leak nor join.
+	visited := map[*analysis.Block]bool{}
+	var leaks func(b *analysis.Block) bool
+	leaks = func(b *analysis.Block) bool {
+		if b == cfg.Exit {
+			return true
+		}
+		if visited[b] {
+			return false
+		}
+		visited[b] = true
+		for _, n := range b.Nodes {
+			if nodeJoins(pass, n, sig, calleeMemo) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if leaks(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range spawnBlk.Succs {
+		if leaks(s) {
+			pass.Reportf(gs.Pos(), "goroutine in %s is not joined on every path to return; every spawned worker must be joined (WaitGroup.Wait, channel drain, or pool shutdown) before the operator returns", fn.Name.Name)
+			return
+		}
+	}
+}
+
+// nodeJoins reports whether one reachable CFG node joins on sig:
+// directly, or one level into a project-local callee. A bare
+// channel-typed expression node is how the CFG encodes `for range ch`
+// (the builder records the ranged expression; the loop itself is
+// edges), so it counts as a drain.
+func nodeJoins(pass *analysis.Pass, n ast.Node, sig joinSignals, calleeMemo map[*ast.FuncDecl]bool) bool {
+	if e, ok := n.(ast.Expr); ok && chanMatches(pass, e, sig) {
+		return true
+	}
+	match := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if match {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				if chanMatches(pass, m.X, sig) {
+					match = true
+				}
+			}
+		case *ast.CallExpr:
+			if callJoins(pass, m, sig, calleeMemo) {
+				match = true
+			}
+		}
+		return true
+	})
+	return match
+}
+
+// chanMatches reports whether e is a channel-typed expression whose
+// object is one of the goroutine's send/close channels (or any channel
+// when the signals are opaque).
+func chanMatches(pass *analysis.Pass, e ast.Expr, sig joinSignals) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if sig.any {
+		return true
+	}
+	obj := baseObj(pass, e)
+	return obj != nil && sig.chans[obj]
+}
+
+// callJoins reports whether a call is a join: Wait on a matching
+// WaitGroup, or (one level) a project-local callee that joins on the
+// same shared object.
+func callJoins(pass *analysis.Pass, call *ast.CallExpr, sig joinSignals, calleeMemo map[*ast.FuncDecl]bool) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroupMethod(pass, sel) {
+		if sig.any {
+			return true
+		}
+		if obj := baseObj(pass, sel.X); obj != nil && sig.wgs[obj] {
+			return true
+		}
+	}
+	// One level into a project-local helper: pool.shutdown() that
+	// Waits or drains on the shared field object. The memo caches the
+	// RESULT per callee — the all-paths search may consult the same
+	// helper from several branches, and each consult must see the true
+	// answer, not a visited marker.
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	pf := projectFunc(pass, callee)
+	if pf == nil || pf.Decl.Body == nil {
+		return false
+	}
+	if res, done := calleeMemo[pf.Decl]; done {
+		return res
+	}
+	calleeMemo[pf.Decl] = false // settles any (impossible today) re-entry
+	hp := passFor(pass, pf)
+	joined := false
+	ast.Inspect(pf.Decl.Body, func(m ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && chanMatches(hp, m.X, sig) {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if chanMatches(hp, m.X, sig) {
+				joined = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroupMethod(hp, sel) {
+				if sig.any {
+					joined = true
+				} else if obj := baseObj(hp, sel.X); obj != nil && sig.wgs[obj] {
+					joined = true
+				}
+			}
+		}
+		return true
+	})
+	calleeMemo[pf.Decl] = joined
+	return joined
+}
+
+// checkLoopCapture flags a go func literal that references an
+// enclosing loop's induction variables instead of taking them as
+// arguments.
+func checkLoopCapture(pass *analysis.Pass, fn *ast.FuncDecl, gs *ast.GoStmt) {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// Induction variables of every loop enclosing the go statement.
+	loopVars := map[types.Object]string{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Body != nil && n.Body.Pos() <= gs.Pos() && gs.End() <= n.Body.End() {
+				collectAssigned(pass, n.Init, loopVars)
+				collectAssigned(pass, n.Post, loopVars)
+			}
+		case *ast.RangeStmt:
+			if n.Body != nil && n.Body.Pos() <= gs.Pos() && gs.End() <= n.Body.End() {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars[obj] = id.Name
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							loopVars[obj] = id.Name
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if name, isLoop := loopVars[obj]; isLoop {
+				pass.Reportf(id.Pos(), "goroutine captures loop variable %s by reference; pass it as an argument (go func(%s ...) {...}(%s)) so the worker's identity is pinned at spawn", name, name, name)
+				delete(loopVars, obj) // one report per variable
+			}
+		}
+		return true
+	})
+}
+
+// collectAssigned records variables assigned by a loop's init/post
+// statement (the induction variables of a 3-clause for).
+func collectAssigned(pass *analysis.Pass, s ast.Stmt, out map[types.Object]string) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					out[obj] = id.Name
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = id.Name
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = id.Name
+			}
+		}
+	}
+}
+
+// checkScratchCapture flags bufalias-class scratch state referenced
+// anywhere under the go statement: the spawned worker can outlive the
+// buffer's validity window (one NextBatch call), reading memory the
+// owner has recycled.
+func checkScratchCapture(pass *analysis.Pass, gs *ast.GoStmt) {
+	ast.Inspect(gs, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if bufalias.IsScratchField(pass, sel) {
+			pass.Reportf(sel.Pos(), "goroutine captures scratch buffer %s; the worker can outlive the buffer's one-batch validity window", bufalias.FieldName(pass, sel))
+			return false
+		}
+		return true
+	})
+}

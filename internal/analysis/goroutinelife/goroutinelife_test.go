@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"hybriddb/internal/analysis/analysistest"
+	"hybriddb/internal/analysis/goroutinelife"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroutinelife.New(), "./src/goroutinelife/...")
+}

@@ -1,0 +1,78 @@
+package analysis_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybriddb/internal/analysis"
+)
+
+// A target package that fails to type-check is a load error: go list
+// reports it on the package, and Load must surface it instead of
+// handing analyzers a half-typed tree.
+func TestLoadBrokenTargetIsError(t *testing.T) {
+	_, err := analysis.Load(testdata(t), "./src/broken")
+	if err == nil {
+		t.Fatal("Load(./src/broken) = nil error, want type-check failure")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the broken package: %v", err)
+	}
+}
+
+// A healthy target with a broken dependency fails the same way: the
+// dependency's error arrives through `go list -e -deps`, so the loader
+// never tries to type-check the target against missing export data.
+func TestLoadBrokenDepIsError(t *testing.T) {
+	_, err := analysis.Load(testdata(t), "./src/brokendep/app")
+	if err == nil {
+		t.Fatal("Load(./src/brokendep/app) = nil error, want dependency failure")
+	}
+	if !strings.Contains(err.Error(), "brokendep/dep") {
+		t.Errorf("error does not name the broken dependency: %v", err)
+	}
+}
+
+// Vendored modules resolve through vendor/ and the ImportMap, never
+// the network: the loadermod fixture is its own module with a
+// hand-vendored dependency and no proxy access.
+func TestLoadVendoredModule(t *testing.T) {
+	pkgs, err := analysis.Load(filepath.Join(testdata(t), "loadermod"), "./...")
+	if err != nil {
+		t.Fatalf("Load(loadermod) error: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "example.com/loadermod" {
+		t.Fatalf("got %d packages, want just example.com/loadermod", len(pkgs))
+	}
+	// The vendored dep's export data must have been consumed: the
+	// target's types resolve dep.Value to an int.
+	scope := pkgs[0].Types.Scope()
+	fn := scope.Lookup("FortyTwo")
+	if fn == nil {
+		t.Fatal("FortyTwo not in package scope")
+	}
+	if got := fn.Type().String(); !strings.Contains(got, "int") {
+		t.Errorf("FortyTwo type = %s, want func() int", got)
+	}
+}
+
+// The driver keeps load failures (exit 2) and diagnostics (exit 1)
+// distinct: CI treats "the linter could not run" differently from "the
+// linter found something".
+func TestMainLoadErrorVsDiagnostics(t *testing.T) {
+	td := testdata(t)
+	var out, errOut bytes.Buffer
+	if code := analysis.Main(&out, &errOut, []*analysis.Analyzer{dummy()}, []string{"-dir", td, "./src/broken"}); code != analysis.ExitError {
+		t.Errorf("broken package exit = %d, want %d (load error)", code, analysis.ExitError)
+	}
+	if !strings.Contains(errOut.String(), "hybridlint:") {
+		t.Errorf("load error not reported on stderr: %q", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := analysis.Main(&out, &errOut, []*analysis.Analyzer{dummy()}, []string{"-dir", td, "./src/framework"}); code != analysis.ExitDiags {
+		t.Errorf("diagnostics exit = %d, want %d", code, analysis.ExitDiags)
+	}
+}

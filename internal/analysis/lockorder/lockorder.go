@@ -21,9 +21,18 @@
 // (for the registry lock, taken inside metric registration) can
 // deadlock against /metrics rendering.
 //
-// The analysis is intra-procedural and branch-forks through if/else
-// and switch arms, so the engine's "RLock or Lock, then defer
-// unlock" dispatch pattern does not false-positive.
+// The lock-order rule is intra-procedural and branch-forks through
+// if/else and switch arms, so the engine's "RLock or Lock, then defer
+// unlock" dispatch pattern does not false-positive. The no-blocking
+// rule additionally follows calls ONE level into project-local
+// functions (via the shared call graph): a helper that parks the
+// goroutine is the same stall as inlining the park under the lock. The
+// callee body is scanned with the caller's held set, so a helper that
+// releases the lock before blocking stays clean; the diagnostic lands
+// at the call site, where the lock is visible. One level is the
+// contract, not an accident: deeper graphs (engine.run -> dispatch ->
+// exec.Execute) intentionally cross a worker hand-off boundary where
+// the statement lock is part of the design.
 //
 // Lock identity matches on (package path element, type name, field
 // name) so the fixture packages under internal/analysis/testdata,
@@ -87,6 +96,12 @@ type held struct {
 
 type walker struct {
 	pass *analysis.Pass
+	// collect, when non-nil, redirects blocking findings into the slice
+	// instead of reporting (interprocedural scan of a callee body);
+	// lock-order violations are silenced entirely there — they belong
+	// to the callee's own package run. collect non-nil also disables
+	// further descent, which is what bounds the analysis to one level.
+	collect *[]string
 }
 
 // stmts walks a statement list linearly, mutating the held set.
@@ -239,6 +254,9 @@ func (w *walker) call(c *ast.CallExpr, h *[]held) {
 	if lk := w.lockOf(c, "Lock", "RLock"); lk != nil {
 		for _, held := range *h {
 			if held.lock.rank >= lk.rank {
+				if w.collect != nil {
+					return
+				}
 				if held.lock == *lk {
 					w.pass.Reportf(c.Pos(), "acquiring %s (%s.%s.%s) while already holding it: RWMutex upgrade/recursion self-deadlocks",
 						lk.desc, lk.pkgElem, lk.typ, lk.field)
@@ -262,6 +280,56 @@ func (w *walker) call(c *ast.CallExpr, h *[]held) {
 		return
 	}
 	w.blockingExpr(c, h)
+	w.descend(c, h)
+}
+
+// descend follows a call one level into a project-local callee while a
+// no-block lock is held. The callee body is scanned with the caller's
+// held set (so a helper that unlocks before parking stays clean) in
+// collect mode, and the first blocking operation found is reported at
+// the call site.
+func (w *walker) descend(c *ast.CallExpr, h *[]held) {
+	if w.collect != nil || w.pass.Prog == nil {
+		return
+	}
+	var noBlock *held
+	for i := range *h {
+		if (*h)[i].lock.noBlock {
+			noBlock = &(*h)[i]
+			break
+		}
+	}
+	if noBlock == nil {
+		return
+	}
+	pf := w.pass.Prog.FuncOf(analysis.CalleeFunc(w.pass.TypesInfo, c))
+	if pf == nil || pf.Decl.Body == nil {
+		return
+	}
+	var found []string
+	w2 := &walker{pass: passFor(w.pass, pf), collect: &found}
+	h2 := append([]held(nil), *h...)
+	w2.stmts(pf.Decl.Body.List, &h2)
+	if len(found) > 0 {
+		w.pass.Reportf(c.Pos(), "call to %s blocks (%s) while holding %s; this parks every statement behind the lock",
+			pf.Fn.Name(), found[0], noBlock.lock.desc)
+	}
+}
+
+// passFor builds a lookup view over the package that owns a callee's
+// declaration; type information never transfers across packages.
+func passFor(pass *analysis.Pass, pf *analysis.ProgFunc) *analysis.Pass {
+	if pf.Pkg.TypesInfo == pass.TypesInfo {
+		return pass
+	}
+	return &analysis.Pass{
+		Analyzer:  pass.Analyzer,
+		Fset:      pf.Pkg.Fset,
+		Files:     pf.Pkg.Files,
+		Pkg:       pf.Pkg.Types,
+		TypesInfo: pf.Pkg.TypesInfo,
+		Prog:      pass.Prog,
+	}
 }
 
 // blockingExpr reports c if it is a known-blocking call.
@@ -300,10 +368,15 @@ var osIO = map[string]bool{
 	"WriteString": true, "Sync": true, "Close": true, "Seek": true,
 }
 
-// blocking reports a blocking operation if a no-block lock is held.
+// blocking reports a blocking operation if a no-block lock is held (or
+// records it, when scanning a callee body for a caller's diagnostic).
 func (w *walker) blocking(pos token.Pos, what string, h *[]held) {
 	for _, held := range *h {
 		if held.lock.noBlock {
+			if w.collect != nil {
+				*w.collect = append(*w.collect, what)
+				return
+			}
 			w.pass.Reportf(pos, "blocking operation (%s) while holding %s; this parks every statement behind the lock",
 				what, held.lock.desc)
 			return

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -35,6 +36,7 @@ func RunAnalyzers(dir string, analyzers []*Analyzer, patterns []string) (finding
 	if err != nil {
 		return nil, nil, err
 	}
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		sup := BuildSuppressions(pkg)
 		for _, d := range sup.Malformed {
@@ -47,6 +49,7 @@ func RunAnalyzers(dir string, analyzers []*Analyzer, patterns []string) (finding
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
@@ -100,6 +103,8 @@ func Main(out, errOut io.Writer, analyzers []*Analyzer, args []string) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed diagnostics (marked, not counted)")
 	dir := fs.String("dir", ".", "directory to resolve package patterns in")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (suppressed ones included, marked)")
+	countsPath := fs.String("counts", "", "write `unsuppressed N / suppressed M` counts to this file (for the lint budget gate)")
 	fs.Usage = func() {
 		fmt.Fprintf(errOut, "usage: hybridlint [flags] [packages]\n\nhybriddb engine-invariant checks. Suppress a finding with\n`//lint:ignore <analyzer> <reason>` on or above the flagged line.\n\n")
 		fs.PrintDefaults()
@@ -123,13 +128,26 @@ func Main(out, errOut io.Writer, analyzers []*Analyzer, args []string) int {
 		fmt.Fprintf(errOut, "hybridlint: %v\n", err)
 		return ExitError
 	}
-	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		fmt.Fprintf(out, "%s: %s: %s\n", posString(f.Pos, cwd), f.Analyzer, f.Message)
+	if *countsPath != "" {
+		if err := writeCounts(*countsPath, len(findings), len(suppressed)); err != nil {
+			fmt.Fprintf(errOut, "hybridlint: %v\n", err)
+			return ExitError
+		}
 	}
-	if *showSuppressed {
-		for _, f := range suppressed {
-			fmt.Fprintf(out, "%s: %s: %s (suppressed)\n", posString(f.Pos, cwd), f.Analyzer, f.Message)
+	cwd, _ := os.Getwd()
+	if *jsonOut {
+		if err := writeJSON(out, findings, suppressed); err != nil {
+			fmt.Fprintf(errOut, "hybridlint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(out, "%s: %s: %s\n", posString(f.Pos, cwd), f.Analyzer, f.Message)
+		}
+		if *showSuppressed {
+			for _, f := range suppressed {
+				fmt.Fprintf(out, "%s: %s: %s (suppressed)\n", posString(f.Pos, cwd), f.Analyzer, f.Message)
+			}
 		}
 	}
 	if n := len(findings); n > 0 {
@@ -140,4 +158,42 @@ func Main(out, errOut io.Writer, analyzers []*Analyzer, args []string) int {
 		fmt.Fprintf(errOut, "hybridlint: clean (%d suppressed)\n", len(suppressed))
 	}
 	return ExitClean
+}
+
+// jsonFinding is the -json wire shape: one object per diagnostic,
+// suppressed ones included and marked, so CI tooling (the problem
+// matcher consumes the text form; dashboards consume this) never needs
+// to parse the human format.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func writeJSON(out io.Writer, findings, suppressed []Finding) error {
+	all := make([]jsonFinding, 0, len(findings)+len(suppressed))
+	for _, f := range findings {
+		all = append(all, jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Analyzer: f.Analyzer, Message: f.Message})
+	}
+	for _, f := range suppressed {
+		all = append(all, jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column, Analyzer: f.Analyzer, Message: f.Message, Suppressed: true})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}
+
+// writeCounts records the run's totals for the suppression-budget gate
+// (scripts/check_lint_budget.sh diffs the suppressed line against the
+// committed LINT_BUDGET).
+func writeCounts(path string, unsuppressed, suppressed int) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, fmt.Appendf(nil, "unsuppressed %d\nsuppressed %d\n", unsuppressed, suppressed), 0o644)
 }

@@ -5,17 +5,27 @@ import (
 	"strings"
 )
 
-// Suppressions indexes a package's //lint:ignore comments.
+// Suppressions indexes a package's lint:ignore comments.
 //
 // A diagnostic from analyzer A at file F line L is suppressed when a
 // comment of the form
 //
 //	//lint:ignore A reason...
+//	//lint:ignore A, B reason...
+//	/* lint:ignore A reason... */
 //
-// (or //lint:ignore A,B reason... for several analyzers) appears on
-// line L or on line L-1 of F. The reason is mandatory: a lint:ignore
-// without one is itself reported, so every suppression in the tree
-// carries a written justification.
+// ends on line L or on line L-1 of F. Line comments must spell the
+// directive exactly (//lint:ignore, no space — Go directive style);
+// block comments may lead with whitespace or newlines before it, so a
+// multi-line justification can carry the directive on its first line.
+// Anchoring on the comment's END line is what makes that work: the
+// suppression covers the line the comment closes on and the one after
+// it, wherever it opened.
+//
+// The analyzer list takes one or more names separated by commas, with
+// or without surrounding spaces. The reason is mandatory: a
+// lint:ignore without one is itself reported, so every suppression in
+// the tree carries a written justification.
 type Suppressions struct {
 	// byLine maps file name -> line -> analyzer names ignored there.
 	byLine map[string]map[int][]string
@@ -30,37 +40,79 @@ func BuildSuppressions(pkg *Package) *Suppressions {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
-				if !ok {
+				body, isDirective := ignoreBody(c.Text)
+				if !isDirective {
 					continue
 				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
+				names, reason := splitDirective(body)
+				if len(names) == 0 || reason == "" {
 					s.Malformed = append(s.Malformed, Diagnostic{
 						Pos:     c.Pos(),
-						Message: "malformed //lint:ignore comment: want `//lint:ignore <analyzer>[,<analyzer>] <reason>`",
+						Message: "malformed lint:ignore comment: want `lint:ignore <analyzer>[, <analyzer>] <reason>`",
 					})
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
+				pos := pkg.Fset.Position(c.End())
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
 					lines = map[int][]string{}
 					s.byLine[pos.Filename] = lines
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if name != "" {
-						lines[pos.Line] = append(lines[pos.Line], name)
-					}
-				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
 			}
 		}
 	}
 	return s
 }
 
+// ignoreBody extracts the text after the lint:ignore directive, for
+// both comment forms, reporting whether the comment is a directive at
+// all. A directive must end at a word boundary: lint:ignorance is
+// somebody else's comment, not a typo to guess at.
+func ignoreBody(text string) (string, bool) {
+	t, ok := strings.CutPrefix(text, "//")
+	if ok {
+		t, ok = strings.CutPrefix(t, "lint:ignore")
+	} else if t, ok = strings.CutPrefix(text, "/*"); ok {
+		t = strings.TrimSuffix(t, "*/")
+		t, ok = strings.CutPrefix(strings.TrimLeft(t, " \t\r\n"), "lint:ignore")
+	}
+	if !ok {
+		return "", false
+	}
+	if t != "" && !strings.ContainsRune(" \t\r\n", rune(t[0])) {
+		return "", false
+	}
+	return t, true
+}
+
+// splitDirective parses "<analyzer>[, <analyzer>]... <reason>". The
+// analyzer list extends across fields as long as commas glue them
+// together ("a,b", "a, b", and "a ,b" all parse the same); whatever
+// remains is the reason.
+func splitDirective(body string) (names []string, reason string) {
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return nil, ""
+	}
+	listEnd := 1
+	for listEnd < len(fields) &&
+		(strings.HasSuffix(fields[listEnd-1], ",") || strings.HasPrefix(fields[listEnd], ",")) {
+		listEnd++
+	}
+	for _, part := range fields[:listEnd] {
+		for _, name := range strings.Split(part, ",") {
+			if name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+	return names, strings.Join(fields[listEnd:], " ")
+}
+
 // Suppressed reports whether a diagnostic from the named analyzer at
-// pos is covered by an ignore comment on the same or preceding line.
+// pos is covered by an ignore comment ending on the same or preceding
+// line.
 func (s *Suppressions) Suppressed(analyzer string, pos token.Position) bool {
 	lines, ok := s.byLine[pos.Filename]
 	if !ok {

@@ -1,0 +1,5 @@
+module example.com/loadermod
+
+go 1.24
+
+require example.com/dep v0.0.0

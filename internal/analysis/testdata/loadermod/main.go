@@ -1,0 +1,8 @@
+// Package loadermod exercises the loader's vendored-module path: the
+// dependency resolves through vendor/ and ImportMap, never the network.
+package loadermod
+
+import "example.com/dep"
+
+// Forty two.
+func FortyTwo() int { return dep.Value }

@@ -1,0 +1,5 @@
+// Package dep is the vendored dependency.
+package dep
+
+// Value is the answer.
+var Value = 42

@@ -1,0 +1,58 @@
+// Package sched exercises atomicfield: the chunked-claim scheduler
+// shape, where one word is CAS-claimed by workers and must never be
+// touched with plain loads or stores outside init.
+package sched
+
+import "sync/atomic"
+
+type scheduler struct {
+	next  int32
+	done  int64
+	total int64
+}
+
+// claim CAS-claims the next morsel: sanctioned atomic access.
+func (s *scheduler) claim() int32 {
+	for {
+		cur := atomic.LoadInt32(&s.next)
+		if atomic.CompareAndSwapInt32(&s.next, cur, cur+1) {
+			return cur
+		}
+	}
+}
+
+// finish counts completions atomically: clean.
+func (s *scheduler) finish() {
+	atomic.AddInt64(&s.done, 1)
+}
+
+// progress peeks plainly at the CAS word: races the claim protocol.
+func (s *scheduler) progress() int32 {
+	return s.next // want `plain access to field scheduler.next`
+}
+
+// reset stores plainly over live CAS traffic.
+func (s *scheduler) reset() {
+	s.next = 0 // want `plain access to field scheduler.next`
+}
+
+// addTotal touches a field no atomic op ever sees: clean.
+func (s *scheduler) addTotal(n int64) {
+	s.total += n
+}
+
+var shared scheduler
+
+// init is language-serialized; plain seeding is sanctioned.
+func init() {
+	shared.next = 3
+}
+
+// fresh seeds a not-yet-published scheduler, with the justification the
+// analyzer demands for constructor-style plain access: suppressed.
+func fresh() *scheduler {
+	s := &scheduler{}
+	//lint:ignore atomicfield fixture: s has not escaped its constructor yet
+	s.next = 1
+	return s
+}

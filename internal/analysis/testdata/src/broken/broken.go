@@ -1,0 +1,4 @@
+// Package broken fails to type-check: loader failure-mode fixture.
+package broken
+
+func Bad() int { return "not an int" }

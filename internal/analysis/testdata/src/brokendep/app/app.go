@@ -1,0 +1,6 @@
+// Package app is itself fine; its dependency is not.
+package app
+
+import "hybriddb/lintfixtures/src/brokendep/dep"
+
+func Use() int { return dep.Value }

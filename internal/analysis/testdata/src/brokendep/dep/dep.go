@@ -1,0 +1,5 @@
+// Package dep fails to type-check; app imports it, so loading app must
+// surface this error rather than an analyzer run.
+package dep
+
+var Value int = "not an int"

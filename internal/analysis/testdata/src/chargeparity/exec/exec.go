@@ -1,0 +1,120 @@
+// Package exec exercises chargeparity: fork/merge parity over the CFG,
+// the direct Alloc/ChargeDataWrite-on-fork rules, and the escape
+// exemption for the gather idiom.
+package exec
+
+import "hybriddb/lintfixtures/src/chargeparity/vclock"
+
+// cleanForkMerge merges the fork on every path: clean.
+func cleanForkMerge(t *vclock.Tracker) {
+	f := t.Fork()
+	f.ChargeSerialCPU(10)
+	t.Merge(f)
+}
+
+// cleanDiamond merges on both branches: clean.
+func cleanDiamond(t *vclock.Tracker, cond bool) {
+	f := t.Fork()
+	if cond {
+		f.ChargeSerialCPU(1)
+		t.Merge(f)
+	} else {
+		t.Merge(f)
+	}
+}
+
+// unmergedOnPath returns early past the merge on one path.
+func unmergedOnPath(t *vclock.Tracker, cond bool) {
+	f := t.Fork() // want `not merged on every path`
+	f.ChargeSerialCPU(1)
+	if cond {
+		return
+	}
+	t.Merge(f)
+}
+
+// cleanPanicPath: a panic-terminated branch is not a return path.
+func cleanPanicPath(t *vclock.Tracker, cond bool) {
+	f := t.Fork()
+	if cond {
+		panic("unreachable in production")
+	}
+	t.Merge(f)
+}
+
+// doubleMerge folds the same fork in twice.
+func doubleMerge(t *vclock.Tracker) {
+	f := t.Fork()
+	t.Merge(f)
+	t.Merge(f) // want `merged more than once`
+}
+
+// mergeInLoop: zero iterations leave the fork unmerged, two iterations
+// double-merge it — both parity violations on one fork.
+func mergeInLoop(t *vclock.Tracker, n int) {
+	f := t.Fork() // want `not merged on every path`
+	for i := 0; i < n; i++ {
+		t.Merge(f) // want `merged more than once`
+	}
+}
+
+// chargeAfterMerge issues work the parent has already folded away.
+func chargeAfterMerge(t *vclock.Tracker) {
+	f := t.Fork()
+	t.Merge(f)
+	f.ChargeSerialCPU(1) // want `after it was merged`
+}
+
+// allocOnFork double-counts MemPeak through Merge's max fold.
+func allocOnFork(t *vclock.Tracker) {
+	f := t.Fork()
+	f.Alloc(1024) // want `Alloc on fork-local tracker`
+	t.Merge(f)
+}
+
+// writeOnFork breaks the coordinator-issued write-charge ordering.
+func writeOnFork(t *vclock.Tracker) {
+	f := t.Fork()
+	f.ChargeDataWrite(4096, 1) // want `ChargeDataWrite on fork-local tracker`
+	t.Merge(f)
+}
+
+// chained charges a fork no variable ever holds: unmergeable.
+func chained(t *vclock.Tracker) {
+	t.Fork().ChargeSerialCPU(1) // want `called directly on a Fork result`
+}
+
+// discarded drops the fork on the floor.
+func discarded(t *vclock.Tracker) {
+	t.Fork() // want `Fork result discarded`
+}
+
+// gather is the runWorkers idiom: forks escape into a slice and are
+// merged back from it at the gather point. Escaped forks leave the
+// per-variable checkable region: clean.
+func gather(t *vclock.Tracker, workers int) {
+	forks := make([]*vclock.Tracker, workers)
+	for i := range forks {
+		forks[i] = t.Fork()
+	}
+	for _, f := range forks {
+		t.Merge(f)
+	}
+}
+
+// escapes hands the fork to a helper; parity is the helper's contract
+// now, not this function's: clean.
+func escapes(t *vclock.Tracker) {
+	f := t.Fork()
+	consume(t, f)
+}
+
+func consume(t, f *vclock.Tracker) { t.Merge(f) }
+
+// probe is a deliberately unmerged fork with a written justification:
+// suppressed.
+func probe(t *vclock.Tracker) {
+	//lint:ignore chargeparity fixture: probe forks are discarded by design
+	f := t.Fork()
+	f.ChargeSerialCPU(1)
+}

@@ -1,0 +1,51 @@
+// Package vclock mirrors the Tracker surface of hybriddb's
+// internal/vclock so the chargeparity fixtures exercise the production
+// matching predicate (package path element + type name).
+package vclock
+
+import "time"
+
+// Model mirrors the calibrated cost constants carrier.
+type Model struct {
+	RowCPU float64
+}
+
+// Tracker mirrors the resource accumulator's fork/merge surface.
+type Tracker struct {
+	Model *Model
+	DOP   int
+	cpu   time.Duration
+	mem   int64
+}
+
+// Fork returns a worker-local tracker.
+func (t *Tracker) Fork() *Tracker { return &Tracker{Model: t.Model, DOP: t.DOP} }
+
+// Merge folds a fork's usage into t.
+func (t *Tracker) Merge(other *Tracker) {
+	t.cpu += other.cpu
+	if other.mem > t.mem {
+		t.mem = other.mem
+	}
+}
+
+// Alloc records a memory allocation.
+func (t *Tracker) Alloc(b int64) { t.mem += b }
+
+// Free records a release.
+func (t *Tracker) Free(b int64) { t.mem -= b }
+
+// ChargeDataWrite charges a data-device write.
+func (t *Tracker) ChargeDataWrite(bytes, seeks int64) { t.cpu += time.Duration(bytes + seeks) }
+
+// ChargeParallelCPU charges DOP-spread work.
+func (t *Tracker) ChargeParallelCPU(work time.Duration, eff float64) { t.cpu += work }
+
+// ChargeSerialCPU charges single-thread work.
+func (t *Tracker) ChargeSerialCPU(work time.Duration) { t.cpu += work }
+
+// SetDOP records the plan DOP.
+func (t *Tracker) SetDOP(d int) { t.DOP = d }
+
+// Snapshot reads accumulated state (not a charge).
+func (t *Tracker) Snapshot() time.Duration { return t.cpu }

@@ -1,0 +1,57 @@
+// Wrapper cases: errflow follows the error through project-local
+// carriers, so hiding a storage call behind one (or two) hops of
+// wrapping does not launder the drop.
+package app
+
+import (
+	"fmt"
+
+	"hybriddb/lintfixtures/src/errflow/storage"
+)
+
+// flushWrap is a carrier: it returns the storage error unchanged.
+func flushWrap(st *storage.Store) error {
+	return st.Flush()
+}
+
+// flushWrapWrap is a second-hop carrier; the fixpoint reaches it too.
+func flushWrapWrap(st *storage.Store) error {
+	return fmt.Errorf("app: %w", flushWrap(st))
+}
+
+// dropWrapped swallows the storage error through one wrapper hop.
+func dropWrapped(st *storage.Store) {
+	flushWrap(st) // want `error returned by flushWrap is dropped; it carries a storage error`
+}
+
+// dropDoubleWrapped swallows it through two hops.
+func dropDoubleWrapped(st *storage.Store) {
+	defer flushWrapWrap(st) // want `error returned by flushWrapWrap is dropped; it carries a storage error`
+}
+
+// consumeWrapped propagates the carried error: clean.
+func consumeWrapped(st *storage.Store) error {
+	return flushWrapWrap(st)
+}
+
+// discardWrapped uses the explicit greppable opt-out: clean.
+func discardWrapped(st *storage.Store) {
+	_ = flushWrap(st)
+}
+
+// localError returns its own error and never touches a guarded
+// package: dropping it is rude but not errflow's business.
+func localError() error {
+	return fmt.Errorf("app: local")
+}
+
+// dropLocal is clean for this analyzer.
+func dropLocal() {
+	localError()
+}
+
+// suppressedWrapped records why a carried drop is acceptable.
+func suppressedWrapped(st *storage.Store) {
+	//lint:ignore errflow fixture: carrier drop justified for the suppression path
+	flushWrap(st)
+}

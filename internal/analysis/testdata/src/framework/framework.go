@@ -1,5 +1,6 @@
 // Package framework backs the driver-level tests: suppression
-// matching, malformed ignore detection, and exit codes.
+// matching (line and block comments, multi-analyzer lists), malformed
+// ignore detection, and exit codes.
 package framework
 
 //lint:ignore framework-dummy fixture: this var is deliberately exempt
@@ -9,3 +10,22 @@ var flaggedVar = 2
 
 //lint:ignore
 var malformedIgnoreAbove = 3
+
+/* lint:ignore framework-dummy fixture: block comments suppress too */
+var blockSuppressedVar = 4
+
+/*
+lint:ignore framework-dummy fixture: a multi-line justification —
+the directive is on the comment's first line, the suppression anchors
+on the line the comment ends, right above the declaration.
+*/
+var multilineBlockSuppressedVar = 5
+
+//lint:ignore framework-dummy, framework-other fixture: comma-with-space list
+var listSuppressedVar = 6
+
+//lint:ignore framework-other fixture: wrong analyzer, so still flagged
+var wrongAnalyzerVar = 7
+
+/* lint:ignore framework-dummy */
+var malformedBlockAbove = 8

@@ -1,0 +1,139 @@
+// Package exec exercises goroutinelife: join reachability (WaitGroup,
+// channel drain, one-level pool shutdown), loop-variable capture, and
+// scratch-buffer capture. The package is named exec because the
+// analyzer scopes itself to the exec/engine path elements.
+package exec
+
+import "sync"
+
+type part struct{ rows []int }
+
+// pool is the shared fork/join carrier for the one-level shutdown case.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// shutdown is the helper the spawner joins through.
+func (p *pool) shutdown() { p.wg.Wait() }
+
+// waitJoined is the runWorkers idiom: explicit-argument identity pin,
+// WaitGroup join after the loop: clean.
+func waitJoined(parts []part) {
+	var wg sync.WaitGroup
+	for wi := range parts {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			_ = parts[wi]
+		}(wi)
+	}
+	wg.Wait()
+}
+
+// chanJoined drains the channel its goroutine sends on: clean.
+func chanJoined(parts []part) int {
+	ch := make(chan int)
+	go func() {
+		ch <- len(parts)
+	}()
+	return <-ch
+}
+
+// closeJoined: the producer closes, the spawner ranges: clean.
+func closeJoined(n int) int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// poolShutdown joins one level down, through the shared wg field: clean.
+func poolShutdown(p *pool, parts []part) {
+	for pi := range parts {
+		p.wg.Add(1)
+		go func(pi int) {
+			defer p.wg.Done()
+			_ = parts[pi]
+		}(pi)
+	}
+	p.shutdown()
+}
+
+// deferJoined registers the join before spawning; it still runs after:
+// clean.
+func deferJoined(parts []part) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = parts
+	}()
+}
+
+// detached has no join anywhere in its spawner.
+func detached(parts []part) {
+	go func() { // want `not joined on every path`
+		_ = parts
+	}()
+}
+
+// joinSkippable signals on a WaitGroup, but a path returns before Wait.
+func joinSkippable(parts []part, cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `not joined on every path`
+		defer wg.Done()
+		_ = parts
+	}()
+	if cond {
+		return
+	}
+	wg.Wait()
+}
+
+// loopCapture reads the induction variable from inside the goroutine
+// instead of pinning it by argument.
+func loopCapture(parts []part) {
+	var wg sync.WaitGroup
+	for wi := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = parts[wi] // want `captures loop variable wi`
+		}()
+	}
+	wg.Wait()
+}
+
+// cursor carries a bufalias-class selection buffer.
+type cursor struct {
+	selBuf []int
+}
+
+// scratchCapture hands the reused selection buffer to a worker that can
+// outlive its one-batch validity window.
+func (c *cursor) scratchCapture(done chan struct{}) {
+	go func() {
+		_ = c.selBuf // want `captures scratch buffer cursor.selBuf`
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// monitor is deliberately detached, with a written justification:
+// suppressed.
+func monitor(parts []part) {
+	//lint:ignore goroutinelife fixture: detached monitor joins at process exit
+	go func() {
+		_ = parts
+	}()
+}

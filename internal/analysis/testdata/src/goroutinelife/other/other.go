@@ -1,0 +1,10 @@
+// Package other is outside the exec/engine scope: goroutinelife must
+// not report here, detached goroutine or not.
+package other
+
+// Detached spawns without a join; out of scope, so clean.
+func Detached(work []int) {
+	go func() {
+		_ = work
+	}()
+}

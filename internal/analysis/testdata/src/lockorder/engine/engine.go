@@ -5,7 +5,10 @@
 // fixtures exercise exactly the production rank table.
 package engine
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 type Database struct {
 	mu     sync.RWMutex
@@ -113,4 +116,54 @@ func (db *Database) suppressed(ch chan int) {
 	defer db.mu.Unlock()
 	//lint:ignore lockorder fixture: exercising the suppression syntax end to end
 	ch <- db.n
+}
+
+// helperSleep parks the calling goroutine. On its own it is clean —
+// no lock is held inside it.
+func (db *Database) helperSleep() {
+	time.Sleep(time.Millisecond)
+}
+
+// callsBlockingHelper blocks one level down; the interprocedural rule
+// lands the diagnostic at the call site, where the lock is visible.
+func (db *Database) callsBlockingHelper() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.helperSleep() // want `call to helperSleep blocks \(time.Sleep\) while holding engine statement lock`
+}
+
+// helperUnlocksFirst releases the statement lock before parking.
+func (db *Database) helperUnlocksFirst() {
+	db.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// callsUnlockingHelper hands the lock to a helper that releases it
+// before blocking; the callee scan runs with the caller's held set, so
+// this is clean.
+func (db *Database) callsUnlockingHelper() {
+	db.mu.Lock()
+	db.helperUnlocksFirst()
+}
+
+// helperIndirect is two hops from the park. One level is the contract:
+// this stays clean, documenting the analysis boundary rather than
+// endorsing the code.
+func (db *Database) helperIndirect() {
+	db.helperSleep()
+}
+
+func (db *Database) callsIndirect() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.helperIndirect()
+}
+
+// justifiedHelperBlock records why a one-level block is acceptable:
+// suppressed.
+func (db *Database) justifiedHelperBlock() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	//lint:ignore lockorder fixture: startup-only path, lock uncontended
+	db.helperSleep()
 }

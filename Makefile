@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench benchsmoke bench-scaling
+.PHONY: all build vet lint test race ci bench benchsmoke bench-scaling bench-htap
 
 all: ci
 
@@ -65,6 +65,16 @@ bench-scaling:
 	GOMAXPROCS=8 BENCH_SCALING_JSON=$(CURDIR)/BENCH_scaling.json \
 		$(GO) test -bench 'BenchmarkScaling(Scan|Agg|Join|TopN)' -run '^$$' .
 
+# bench-htap runs the CH-style mixed workload (sustained writes
+# interleaved with columnstore reads) under four compaction regimes —
+# full compaction, background tuple mover, no compaction, synchronous
+# inline — and writes BENCH_htap.json. One iteration per arm: each
+# iteration is a complete fixed-size workload and the reported numbers
+# are deterministic virtual times, so repetition adds nothing.
+bench-htap:
+	BENCH_HTAP_JSON=$(CURDIR)/BENCH_htap.json \
+		$(GO) test -bench 'BenchmarkHTAPMixed' -benchtime 1x -run '^$$' .
+
 # benchsmoke also runs the kernel-vs-naive benchmarks for one iteration:
 # each iteration asserts both paths select the identical row set, so the
 # differential check runs in CI without benchmark timing. The query-
@@ -73,6 +83,11 @@ bench-scaling:
 # along for one iteration, and BENCH_GUARD=1 turns the recorded points
 # into a regression gate: any DOP the machine can schedule that runs
 # slower than 0.9x serial fails the build (see benchGuardFailures in
-# bench_parallel_test.go).
+# bench_parallel_test.go). The HTAP mixed-workload arms are gated on
+# their deterministic virtual-time ratios (see htapGuardFailures in
+# bench_htap_test.go): background-mover reads within 1.5x of the
+# compacted baseline, no-compaction reads materially slower (the
+# delta-scan-tax canary), and no inline-compaction write spike while
+# a mover is attached.
 benchsmoke:
-	BENCH_GUARD=1 $(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkScaling(Scan|Agg|Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture' -benchtime 1x -run '^$$' .
+	BENCH_GUARD=1 $(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkScaling(Scan|Agg|Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture|BenchmarkHTAPMixed' -benchtime 1x -run '^$$' .

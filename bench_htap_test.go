@@ -1,0 +1,292 @@
+// HTAP mixed-workload benchmark: CH-benchmark-style interleaving of
+// OLTP writes (single-row inserts and deletes) with OLAP reads
+// (columnstore scans and aggregations) on the same table, run under
+// four compaction regimes:
+//
+//	compacted  full tuple move before every read round — the ideal
+//	           read baseline the mover is measured against
+//	mover      the cost-based background tuple mover, running
+//	           concurrently with the workload (steady state: each
+//	           round waits until the mover has paced the backlog
+//	           back under a small bound before reading)
+//	nomover    compaction suppressed entirely — the delta store grows
+//	           for the whole run and every read pays the full tax
+//	sync       synchronous inline compaction at the rowgroup
+//	           boundary (the pre-mover default): reads stay cheap
+//	           but the boundary-crossing insert absorbs the entire
+//	           encode cost as a latency spike
+//
+// The interesting columns are virtual (deterministic vclock) times,
+// not wall clock: read_exec_us is the summed Metrics.ExecTime of the
+// reads, max_write_exec_us the worst single write statement. Under
+// BENCH_GUARD these become regression gates (see htapGuardFailures):
+// the mover must keep steady-state reads within 1.5x of the compacted
+// baseline, suppressing compaction must degrade reads materially
+// (which fails if scans ever stop being charged the delta tax), and
+// the mover must eliminate the inline-compaction write spike.
+//
+// `make bench-htap` writes the results to BENCH_htap.json.
+package hybriddb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hybriddb/internal/value"
+)
+
+const (
+	htapBaseRows       = 8192 // compressed rows preloaded before round 0
+	htapRowGroup       = 512
+	htapRounds         = 12
+	htapWritesPerRound = 512 // inserts per round; 1/16 of them paired with a delete
+	// htapMoverMinMove is the mover arm's MinMoveRows and also the
+	// steady-state pacing bound: the background loop compacts any
+	// backlog at or above it, so waiting for the delta to drop below
+	// it is guaranteed to terminate and caps the residual tax a read
+	// can observe at MinMoveRows-1 rows.
+	htapMoverMinMove = 64
+)
+
+type htapBenchRecord struct {
+	Arm            string  `json:"arm"`
+	Rounds         int     `json:"rounds"`
+	WritesPerRound int     `json:"writes_per_round"`
+	ReadExecUS     float64 `json:"read_exec_us"`
+	WriteExecUS    float64 `json:"write_exec_us"`
+	MaxWriteExecUS float64 `json:"max_write_exec_us"`
+	// InlineCompactions counts synchronous whole-delta compressions
+	// taken inside Insert — the boundary-crossing stall the mover
+	// exists to remove. Inline compaction charges no virtual time (the
+	// stall is wall-clock only, see colstore.Index.Insert), so this
+	// counter, not a Metrics column, is the deterministic spike signal.
+	InlineCompactions int64 `json:"inline_compactions"`
+	// MaxInsertWallUS is the worst single INSERT by wall clock —
+	// informational only (never gated, it is timer noise in CI); the
+	// inline-compaction stall shows up here on the sync arm.
+	MaxInsertWallUS float64 `json:"max_insert_wall_us"`
+	ReadVsCompacted float64 `json:"read_vs_compacted"` // filled by computeHTAPRatios
+	NsPerOp         float64 `json:"ns_per_op"`
+}
+
+// htapDB preloads the base table: htapBaseRows rows, fully compressed
+// into a clustered columnstore with small rowgroups so compaction is
+// frequent enough to matter at benchmark scale.
+func htapDB(b *testing.B) *DB {
+	b.Helper()
+	db := Open(WithRowGroupSize(htapRowGroup))
+	if _, err := db.Exec("CREATE TABLE ht (k BIGINT, g BIGINT, v BIGINT, PRIMARY KEY (k))"); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]value.Row, htapBaseRows)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i % 64)),
+			value.NewInt(int64(i * 7 % 10_000)),
+		}
+	}
+	db.Internal().Table("ht").BulkLoad(nil, rows)
+	if _, err := db.Exec("CREATE CLUSTERED COLUMNSTORE INDEX cci ON ht (k)"); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// htapDeltaBacklog sums the uncompacted delta rows across the table's
+// columnstores through the engine's locked debt report (never through
+// raw index accessors — the mover mutates them concurrently).
+func htapDeltaBacklog(db *DB) int64 {
+	var total int64
+	for _, d := range db.CompactionDebts() {
+		total += d.Debt.DeltaRows
+	}
+	return total
+}
+
+// runHTAPMixed executes one full mixed workload on a fresh database
+// and returns the virtual-time record for the arm. Each round writes
+// htapWritesPerRound rows (with a sprinkling of deletes of older
+// keys, so delete-buffer folding is exercised too), then runs the
+// analytical read pair and accumulates their deterministic metrics.
+func runHTAPMixed(b *testing.B, arm string) htapBenchRecord {
+	b.Helper()
+	db := htapDB(b)
+	defer db.Close()
+	switch arm {
+	case "mover":
+		db.EnableTupleMover(MoverOptions{Interval: 200 * time.Microsecond, MinMoveRows: htapMoverMinMove})
+	case "nomover":
+		db.Internal().SuppressCompaction(true)
+	case "compacted", "sync":
+		// sync is the engine default: inline compaction at the
+		// rowgroup boundary. compacted additionally tuple-moves
+		// before every read round.
+	default:
+		b.Fatalf("unknown arm %q", arm)
+	}
+	rec := htapBenchRecord{Arm: arm, Rounds: htapRounds, WritesPerRound: htapWritesPerRound}
+	reads := []string{
+		"SELECT k, v FROM ht WHERE g < 8",
+		"SELECT g, sum(v), count(*) FROM ht GROUP BY g",
+	}
+	serial := ExecOptions{Parallelism: 1}
+	nextKey := int64(1 << 20)
+	write := func(sql string, insert bool) {
+		t0 := time.Now()
+		res, err := db.Exec(sql, serial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if insert {
+			if wall := float64(time.Since(t0)) / float64(time.Microsecond); wall > rec.MaxInsertWallUS {
+				rec.MaxInsertWallUS = wall
+			}
+		}
+		us := float64(res.Metrics.ExecTime) / float64(time.Microsecond)
+		rec.WriteExecUS += us
+		if us > rec.MaxWriteExecUS {
+			rec.MaxWriteExecUS = us
+		}
+	}
+	for round := 0; round < htapRounds; round++ {
+		for i := 0; i < htapWritesPerRound; i++ {
+			k := nextKey
+			nextKey++
+			write(fmt.Sprintf("INSERT INTO ht VALUES (%d, %d, %d)", k, k%64, k*7%10_000), true)
+			if i%16 == 15 {
+				// Delete a key inserted earlier this round: the
+				// victim may still live in the delta or already be
+				// compressed, exercising both delete paths.
+				write(fmt.Sprintf("DELETE FROM ht WHERE k = %d", k-8), false)
+			}
+		}
+		switch arm {
+		case "compacted":
+			db.TupleMove()
+		case "mover":
+			// Steady state: the background loop keeps pace with the
+			// writers; reads observe a small bounded backlog rather
+			// than a synchronous quiesce.
+			deadline := time.Now().Add(10 * time.Second)
+			for htapDeltaBacklog(db) >= htapMoverMinMove {
+				if time.Now().After(deadline) {
+					b.Fatalf("mover did not pace backlog under %d rows (at %d)",
+						htapMoverMinMove, htapDeltaBacklog(db))
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		for _, q := range reads {
+			res, err := db.Exec(q, serial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.ReadExecUS += float64(res.Metrics.ExecTime) / float64(time.Microsecond)
+		}
+	}
+	rec.InlineCompactions = db.Internal().Table("ht").CCI().InlineCompactions()
+	return rec
+}
+
+// BenchmarkHTAPMixed runs the mixed workload once per iteration on a
+// fresh database for each arm (state must not accumulate across
+// iterations: the nomover arm's whole point is a delta that grows for
+// exactly one workload's worth of writes). Wall ns/op therefore
+// includes setup; the committed artifact's meaningful numbers are the
+// virtual-time columns.
+func BenchmarkHTAPMixed(b *testing.B) {
+	for _, arm := range []string{"compacted", "mover", "nomover", "sync"} {
+		b.Run(arm, func(b *testing.B) {
+			var rec htapBenchRecord
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec = runHTAPMixed(b, arm)
+			}
+			b.StopTimer()
+			rec.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			recordHTAPBench(rec)
+		})
+	}
+}
+
+var htapRecords []htapBenchRecord
+
+func recordHTAPBench(rec htapBenchRecord) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	for i := range htapRecords {
+		if htapRecords[i].Arm == rec.Arm {
+			htapRecords[i] = rec
+			return
+		}
+	}
+	htapRecords = append(htapRecords, rec)
+}
+
+// computeHTAPRatios fills read_vs_compacted once all arms have run.
+func computeHTAPRatios() {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	var base float64
+	for _, r := range htapRecords {
+		if r.Arm == "compacted" {
+			base = r.ReadExecUS
+		}
+	}
+	for i := range htapRecords {
+		if base > 0 {
+			htapRecords[i].ReadVsCompacted = htapRecords[i].ReadExecUS / base
+		}
+	}
+}
+
+// htapGuardFailures gates the HTAP arms on their deterministic
+// virtual-time relationships (wall clock is never gated):
+//
+//   - mover reads stay within 1.5x of the compacted baseline — the
+//     mover keeps the compressed fast path hot under sustained writes;
+//   - nomover reads degrade to at least 1.8x baseline — this is the
+//     scan-tax canary: if scans stop being charged for uncompacted
+//     delta rows (a costing or fast-path regression), the nomover arm
+//     collapses onto the baseline and the gate fires;
+//   - the sync arm takes inline compactions (the boundary-crossing
+//     insert absorbs the encode stall) while the mover arm takes none
+//     — backgrounding compaction must actually remove the spike.
+func htapGuardFailures() []string {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	byArm := map[string]htapBenchRecord{}
+	for _, r := range htapRecords {
+		byArm[r.Arm] = r
+	}
+	if len(byArm) == 0 {
+		return nil
+	}
+	var failures []string
+	base, mover, nomover, sync := byArm["compacted"], byArm["mover"], byArm["nomover"], byArm["sync"]
+	if base.ReadExecUS <= 0 || mover.ReadExecUS <= 0 || nomover.ReadExecUS <= 0 || sync.ReadExecUS <= 0 {
+		return []string{"htap: incomplete arm set; cannot evaluate guard"}
+	}
+	if ratio := mover.ReadExecUS / base.ReadExecUS; ratio > 1.5 {
+		failures = append(failures, fmt.Sprintf(
+			"htap/mover: read time %.0fus is %.2fx the compacted baseline %.0fus (limit 1.5x)",
+			mover.ReadExecUS, ratio, base.ReadExecUS))
+	}
+	if ratio := nomover.ReadExecUS / base.ReadExecUS; ratio < 1.8 {
+		failures = append(failures, fmt.Sprintf(
+			"htap/nomover: read time %.0fus is only %.2fx the compacted baseline %.0fus (want >= 1.8x; is the delta scan tax still charged?)",
+			nomover.ReadExecUS, ratio, base.ReadExecUS))
+	}
+	if sync.InlineCompactions == 0 {
+		failures = append(failures,
+			"htap/sync: no inline compactions — the workload never crossed the rowgroup boundary, so the spike scenario went unexercised")
+	}
+	if mover.InlineCompactions != 0 {
+		failures = append(failures, fmt.Sprintf(
+			"htap/mover: %d inline compactions — inserts stalled on the encode despite the background mover",
+			mover.InlineCompactions))
+	}
+	return failures
+}

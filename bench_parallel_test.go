@@ -244,8 +244,9 @@ func benchGuardFailures() []string {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	computeParallelSpeedups()
+	computeHTAPRatios()
 	if os.Getenv("BENCH_GUARD") != "" {
-		for _, f := range benchGuardFailures() {
+		for _, f := range append(benchGuardFailures(), htapGuardFailures()...) {
 			fmt.Fprintf(os.Stderr, "BENCH_GUARD: %s\n", f)
 			if code == 0 {
 				code = 1
@@ -330,6 +331,24 @@ func TestMain(m *testing.M) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "BENCH_BATCH_JSON: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if path := os.Getenv("BENCH_HTAP_JSON"); path != "" && len(htapRecords) > 0 {
+		benchMu.Lock()
+		out := struct {
+			benchEnv
+			Results []htapBenchRecord `json:"results"`
+		}{currentBenchEnv([]int{1}), htapRecords} // HTAP reads run serial
+		benchMu.Unlock()
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_HTAP_JSON: %v\n", err)
 			if code == 0 {
 				code = 1
 			}

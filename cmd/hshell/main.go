@@ -10,6 +10,8 @@
 //	\metrics      dump the process metrics (Prometheus text format)
 //	\qstats       query-store top fingerprints by total virtual time
 //	\qexport PATH write the query store as a JSONL workload capture
+//	\debt         per-index delta rows, buffered deletes, modeled scan tax
+//	\compact [T]  compact table T's columnstores (all tables when omitted)
 //
 // Flags:
 //
@@ -118,6 +120,15 @@ func meta(db *hybriddb.DB, cmd string) bool {
 		fmt.Print(hybriddb.MetricsText())
 	case cmd == "\\qstats":
 		qstats(db)
+	case cmd == "\\debt":
+		debt(db)
+	case cmd == "\\compact" || strings.HasPrefix(cmd, "\\compact "):
+		name := strings.TrimSpace(strings.TrimPrefix(cmd, "\\compact"))
+		if db.Internal().CompactTable(name) {
+			fmt.Println("compacted")
+		} else {
+			fmt.Printf("unknown table %q\n", name)
+		}
 	case strings.HasPrefix(cmd, "\\qexport "):
 		path := strings.TrimSpace(strings.TrimPrefix(cmd, "\\qexport "))
 		f, err := os.Create(path)
@@ -163,6 +174,28 @@ func qstats(db *hybriddb.DB) {
 			time.Duration(s.ExecTotalUS)*time.Microsecond, s.RowsOut,
 			float64(s.DataRead)/1e6)
 		fmt.Printf("    %s\n", s.NormSQL)
+	}
+}
+
+// debt prints every columnstore's write-side backlog and the scan tax
+// the cost model charges it — what the background tuple mover schedules
+// against.
+func debt(db *hybriddb.DB) {
+	debts := db.CompactionDebts()
+	if len(debts) == 0 {
+		fmt.Println("no columnstore indexes")
+		return
+	}
+	fmt.Printf("%-20s %-16s %10s %8s %8s %12s %12s\n",
+		"TABLE", "INDEX", "DELTA", "BUFDEL", "DEAD", "SCAN TAX", "WORK")
+	for _, d := range debts {
+		name := d.Index
+		if name == "" {
+			name = "(primary)"
+		}
+		fmt.Printf("%-20s %-16s %10d %8d %8d %12s %12s\n",
+			d.Table, name, d.Debt.DeltaRows, d.Debt.BufferedDeletes, d.Debt.DeadRows,
+			d.Debt.ScanTax.Round(time.Microsecond), d.Debt.Work.Round(time.Microsecond))
 	}
 }
 

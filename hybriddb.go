@@ -256,6 +256,40 @@ func (db *DB) WarmCache() { db.inner.Store().Prewarm() }
 // and delete-buffer compaction) on every table.
 func (db *DB) TupleMove() { db.inner.TupleMoveAll() }
 
+// MoverOptions tune the background tuple mover (sweep interval, minimum
+// move size, rebuild threshold); the zero value uses defaults.
+type MoverOptions = engine.MoverOptions
+
+// Mover is a handle on the running background tuple mover.
+type Mover = engine.TupleMover
+
+// IndexDebt is one columnstore's compaction-debt report.
+type IndexDebt = engine.IndexDebt
+
+// EnableTupleMover starts the cost-based background tuple mover: a
+// maintenance loop that runs concurrently with queries and DML,
+// incrementally compacting delta-store rows into compressed rowgroups
+// and folding delete buffers, always picking the index whose write
+// backlog charges scans the most per unit of compaction work. While a
+// mover is attached, inserts never compress the delta inline — crossing
+// the rowgroup boundary just signals the mover. Mover CPU is charged to
+// a separate maintenance tracker, so query Metrics stay deterministic.
+func (db *DB) EnableTupleMover(opts MoverOptions) *Mover {
+	return db.inner.EnableTupleMover(opts)
+}
+
+// DisableTupleMover stops the background mover and restores synchronous
+// inline compaction.
+func (db *DB) DisableTupleMover() { db.inner.DisableTupleMover() }
+
+// Close stops background maintenance (the handle remains usable for
+// statements afterwards).
+func (db *DB) Close() error { return db.inner.Close() }
+
+// CompactionDebts reports every columnstore's current write-side
+// backlog and its modeled scan tax.
+func (db *DB) CompactionDebts() []IndexDebt { return db.inner.CompactionDebts() }
+
 // TableRows returns a table's live row count, or -1 if absent.
 func (db *DB) TableRows(name string) int64 {
 	t := db.inner.Table(name)

@@ -167,3 +167,46 @@ func (db *Database) justifiedHelperBlock() {
 	//lint:ignore lockorder fixture: startup-only path, lock uncontended
 	db.helperSleep()
 }
+
+// moverInstallPattern mirrors the background tuple mover's critical
+// section split: snapshot under the shared statement lock, encode with
+// no lock held (the slow part — here a channel hand-off stands in for
+// it), then a short exclusive install. Clean by construction.
+func (db *Database) moverInstallPattern(encoded chan int) {
+	db.mu.RLock()
+	snap := db.n
+	db.mu.RUnlock()
+	encoded <- snap // encode off-lock: blocking here is fine
+	db.mu.Lock()
+	db.n = snap
+	db.mu.Unlock()
+}
+
+// moverEncodeUnderLock holds the exclusive statement lock across the
+// encode hand-off — the stall (and, against the mover's own install
+// path, the deadlock) the critical-section split exists to avoid.
+func (db *Database) moverEncodeUnderLock(encoded chan int) {
+	db.mu.Lock()
+	encoded <- db.n // want `blocking operation \(channel send\) while holding engine statement lock`
+	db.mu.Unlock()
+}
+
+// moverJoinOutsideLock is DisableTupleMover's shape: clear the
+// registration under the statement lock, then join the background
+// loop on its done channel only after release (the loop's next step
+// needs db.mu to install, so joining under the lock would deadlock).
+func (db *Database) moverJoinOutsideLock(stop, done chan struct{}) {
+	db.mu.Lock()
+	db.n = 0
+	db.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// moverJoinUnderLock joins the loop with the statement lock held.
+func (db *Database) moverJoinUnderLock(stop, done chan struct{}) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	close(stop)
+	<-done // want `blocking operation \(channel receive\) while holding engine statement lock`
+}

@@ -105,6 +105,19 @@ type Index struct {
 	nLive   int64 // live rows (compressed - deleted - buffered + delta)
 	nTotal  int64 // compressed rows incl. deleted
 	sortOrd []int // greedy sort order used within groups (diagnostics)
+
+	// delGen invalidates outstanding delta snapshots: bumped whenever a
+	// delta row is removed (DeleteAt, TupleMove, InstallMove). Appends
+	// never bump it — they land at higher seqs than any snapshot, so the
+	// mover cannot be livelocked by sustained inserts.
+	delGen uint64
+	// bufGen invalidates outstanding fold plans: bumped whenever the
+	// delete buffer changes (BufferDelete, TupleMove, InstallFold).
+	bufGen uint64
+	// highWater, when set, is signalled instead of compressing the whole
+	// delta inline when Insert fills it to the rowgroup size.
+	highWater         func()
+	inlineCompactions int64
 }
 
 // Build creates a columnstore index over rows, compressing them in
@@ -140,6 +153,9 @@ func (x *Index) Primary() bool { return x.cfg.Primary }
 
 // Groups returns the number of compressed rowgroups.
 func (x *Index) Groups() int { return len(x.groups) }
+
+// RowGroupSize returns the configured rows-per-rowgroup cap.
+func (x *Index) RowGroupSize() int { return x.cfg.RowGroupSize }
 
 // Rows returns the number of live rows.
 func (x *Index) Rows() int64 { return x.nLive }
@@ -185,14 +201,35 @@ func (x *Index) appendGroups(rows []value.Row, tr *vclock.Tracker) {
 	}
 }
 
-// compressGroup builds one rowgroup from chunk.
+// compressGroup builds one rowgroup from chunk and installs it.
 func (x *Index) compressGroup(chunk []value.Row, tr *vclock.Tracker) {
-	if len(chunk) == 0 {
+	g, ord := x.encodeGroup(chunk, tr)
+	if g == nil {
 		return
 	}
+	if ord != nil {
+		x.sortOrd = ord
+	}
+	x.groups = append(x.groups, g)
+	x.nTotal += int64(g.n)
+	x.nLive += int64(g.n)
+	mGroupsBuilt.Inc()
+}
+
+// encodeGroup compresses chunk into a rowgroup without installing it:
+// segments are allocated in the store, but the group is not appended
+// and no index bookkeeping changes, so the tuple mover can encode
+// off-lock and install (or discard) under a later critical section.
+// For the same reason the within-group sort order is returned rather
+// than written to x.sortOrd.
+func (x *Index) encodeGroup(chunk []value.Row, tr *vclock.Tracker) (*rowGroup, []int) {
+	if len(chunk) == 0 {
+		return nil, nil
+	}
 	ncols := x.cfg.Schema.Len()
+	var ord []int
 	if !x.cfg.NoGroupSort {
-		chunk = x.sortForCompression(chunk)
+		chunk, ord = x.sortForCompression(chunk)
 	}
 	g := &rowGroup{
 		n:        len(chunk),
@@ -213,22 +250,21 @@ func (x *Index) compressGroup(chunk []value.Row, tr *vclock.Tracker) {
 		g.colBytes[c] = seg.bytes
 		written += seg.bytes
 	}
-	x.groups = append(x.groups, g)
-	x.nTotal += int64(len(chunk))
-	x.nLive += int64(len(chunk))
-	mGroupsBuilt.Inc()
 	if tr != nil {
 		// Compression cost: a sort plus encoding passes per column.
 		n := int64(len(chunk))
 		tr.ChargeParallelCPU(vclock.CPU(n*int64(ncols), tr.Model.RowCPU/4), 1.0)
 		tr.ChargeDataWrite(written, 1)
 	}
+	return g, ord
 }
 
 // sortForCompression orders the chunk's columns greedily by ascending
 // distinct count and sorts rows lexicographically in that column order,
-// mimicking the VertiPaq strategy of Figure 8.
-func (x *Index) sortForCompression(chunk []value.Row) []value.Row {
+// mimicking the VertiPaq strategy of Figure 8. It returns the sorted
+// copy and the column order; it does not mutate the index, so it is
+// safe to call off-lock.
+func (x *Index) sortForCompression(chunk []value.Row) ([]value.Row, []int) {
 	ncols := x.cfg.Schema.Len()
 	type colCard struct {
 		ord      int
@@ -251,18 +287,20 @@ func (x *Index) sortForCompression(chunk []value.Row) []value.Row {
 	for i, cc := range cards {
 		ord[i] = cc.ord
 	}
-	x.sortOrd = ord
 	sorted := append([]value.Row(nil), chunk...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return value.CompareRows(sorted[i], sorted[j], ord) < 0
 	})
-	return sorted
+	return sorted, ord
 }
 
 // Insert adds one row to the delta store (trickle insert). When the
-// delta store reaches the rowgroup size, the tuple mover compresses it
-// in the background (uncharged, as in the real engine where statement
-// latency does not include background compression).
+// delta store reaches the rowgroup size the index signals the high-water
+// callback (the online tuple mover, which compacts asynchronously); with
+// no mover attached it falls back to compressing the whole delta inline,
+// charging nothing (as in the real engine, where statement latency does
+// not include background compression) but stalling the unlucky inserter
+// for the encode's wall-clock time.
 func (x *Index) Insert(tr *vclock.Tracker, row value.Row) Locator {
 	x.seq++
 	x.delta.Insert(tr, value.Row{value.NewInt(x.seq)}, row)
@@ -270,10 +308,28 @@ func (x *Index) Insert(tr *vclock.Tracker, row value.Row) Locator {
 	mDeltaRows.Inc()
 	loc := Locator{Delta: true, Seq: x.seq}
 	if x.delta.Count() >= int64(x.cfg.RowGroupSize) {
-		x.TupleMove(nil)
+		if x.highWater != nil {
+			x.highWater()
+		} else {
+			x.inlineCompactions++
+			x.TupleMove(nil)
+		}
 	}
 	return loc
 }
+
+// SetHighWater installs fn as the delta high-water callback: Insert
+// signals it instead of compressing the delta inline once the delta
+// store reaches the rowgroup size. fn must not block — it runs under
+// the engine's statement lock. nil restores synchronous compaction.
+func (x *Index) SetHighWater(fn func()) { x.highWater = fn }
+
+// HighWaterSet reports whether a high-water callback is attached.
+func (x *Index) HighWaterSet() bool { return x.highWater != nil }
+
+// InlineCompactions counts synchronous whole-delta compressions taken
+// inside Insert — the latency spike the tuple mover exists to remove.
+func (x *Index) InlineCompactions() int64 { return x.inlineCompactions }
 
 // BulkInsert adds rows, compressing directly into rowgroups when the
 // batch reaches the rowgroup size (bulk load path) and spilling the
@@ -294,6 +350,7 @@ func (x *Index) DeleteAt(tr *vclock.Tracker, loc Locator) bool {
 	if loc.Delta {
 		if x.delta.Delete(tr, value.Row{value.NewInt(loc.Seq)}, nil) {
 			x.nLive--
+			x.delGen++
 			mDeltaRows.Dec()
 			return true
 		}
@@ -324,6 +381,7 @@ func (x *Index) BufferDelete(tr *vclock.Tracker, key value.Row) {
 	x.delBuf.Insert(tr, key, nil)
 	x.nBuf++
 	x.nLive--
+	x.bufGen++
 	mBufferedDeletes.Inc()
 }
 
@@ -347,6 +405,7 @@ func (x *Index) TupleMove(tr *vclock.Tracker) {
 		x.nLive -= int64(len(rows)) // appendGroups re-adds
 		x.appendGroups(rows, tr)
 		x.delta = btree.New(x.store)
+		x.delGen++
 		mDeltaRows.Add(-int64(len(rows)))
 	}
 	// Compact delete buffer into bitmaps.
@@ -386,6 +445,7 @@ func (x *Index) TupleMove(tr *vclock.Tracker) {
 		// Live count is unchanged: BufferDelete already subtracted the
 		// logically deleted rows; the bitmap now carries them instead.
 		x.delBuf = btree.New(x.store)
+		x.bufGen++
 		mBufferedDeletes.Add(-int64(x.nBuf))
 		x.nBuf = 0
 	}

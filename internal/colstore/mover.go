@@ -1,0 +1,432 @@
+package colstore
+
+// Online tuple-mover primitives: the snapshot / encode-off-lock /
+// install-under-critical-section halves of incremental delta compaction,
+// delete-buffer folding, and rowgroup rebuild. The engine's background
+// mover drives these; locking lives entirely at the engine's statement
+// boundary, so the contract here is positional:
+//
+//   - Snapshot*/Plan* run while at least a shared (read) lock is held;
+//     they read index state and return immutable plans.
+//   - EncodeRows runs with NO lock held; it touches only the immutable
+//     config and the (internally synchronized) page store.
+//   - Install* run under the exclusive lock; each validates its plan's
+//     generation stamp and either applies the change wholesale or
+//     reports false so the caller can discard and retry.
+//
+// Generation stamps make the optimism safe: delGen advances whenever a
+// delta row is removed (inserts only append at higher seqs, so a
+// snapshot can never be invalidated by the write stream it is trying to
+// keep up with — no livelock), and bufGen advances on every delete-
+// buffer change.
+
+import (
+	"time"
+
+	"hybriddb/internal/btree"
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/value"
+	"hybriddb/internal/vclock"
+)
+
+var (
+	mMoves = metrics.NewCounter("hybriddb_tuplemover_moves_total",
+		"incremental delta-to-rowgroup move installs")
+	mFolds = metrics.NewCounter("hybriddb_tuplemover_folds_total",
+		"delete-buffer folds installed into delete bitmaps")
+	mRebuilds = metrics.NewCounter("hybriddb_tuplemover_rebuilds_total",
+		"rowgroups rebuilt to shed delete-bitmap dead rows")
+	mMoverAborts = metrics.NewCounter("hybriddb_tuplemover_aborts_total",
+		"mover installs abandoned because DML invalidated the snapshot")
+	mRowsMoved = metrics.NewCounter("hybriddb_tuplemover_rows_moved_total",
+		"delta rows moved into compressed rowgroups by the mover")
+)
+
+// DeltaSnapshot captures a prefix of the delta store for off-lock
+// encoding. Rows are copied, so later B+ tree mutations cannot be
+// observed through it.
+type DeltaSnapshot struct {
+	Rows []value.Row
+	Seqs []int64
+	gen  uint64
+}
+
+// SnapshotDelta copies up to maxRows delta rows (in seq order) for the
+// mover to encode off-lock. maxRows <= 0 means the configured rowgroup
+// size. Returns nil when the delta store is empty. Requires at least a
+// shared lock.
+func (x *Index) SnapshotDelta(maxRows int, tr *vclock.Tracker) *DeltaSnapshot {
+	if maxRows <= 0 {
+		maxRows = x.cfg.RowGroupSize
+	}
+	if x.delta.Count() == 0 {
+		return nil
+	}
+	snap := &DeltaSnapshot{gen: x.delGen}
+	for it := x.delta.First(tr); it.Valid() && len(snap.Rows) < maxRows; it.Next() {
+		snap.Seqs = append(snap.Seqs, it.Key()[0].Int())
+		snap.Rows = append(snap.Rows, append(value.Row(nil), it.Row()...))
+	}
+	return snap
+}
+
+// EncodedGroup is a compressed rowgroup built off-lock, not yet visible
+// to scans. Its segments live in the page store; DiscardEncoded frees
+// them if the install is abandoned.
+type EncodedGroup struct {
+	g   *rowGroup
+	ord []int
+}
+
+// Rows returns the number of rows in the encoded group.
+func (e *EncodedGroup) Rows() int { return e.g.n }
+
+// EncodeRows compresses rows into rowgroup-sized encoded groups. It
+// reads only the immutable index config and the page store, so it runs
+// without any index lock; the caller installs the result later.
+func (x *Index) EncodeRows(rows []value.Row, tr *vclock.Tracker) []*EncodedGroup {
+	var out []*EncodedGroup
+	for start := 0; start < len(rows); start += x.cfg.RowGroupSize {
+		end := start + x.cfg.RowGroupSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		g, ord := x.encodeGroup(rows[start:end], tr)
+		if g != nil {
+			out = append(out, &EncodedGroup{g: g, ord: ord})
+		}
+	}
+	return out
+}
+
+// DiscardEncoded frees the segments of groups that will never be
+// installed (their snapshot was invalidated).
+func (x *Index) DiscardEncoded(groups []*EncodedGroup) {
+	for _, eg := range groups {
+		for _, id := range eg.g.segIDs {
+			x.store.Free(id)
+		}
+	}
+}
+
+// InstallMove makes the encoded groups visible and removes the moved
+// rows from the delta store. Requires the exclusive lock. Returns false
+// (and counts an abort) when DML invalidated the snapshot since it was
+// taken; the caller must then DiscardEncoded the groups.
+func (x *Index) InstallMove(snap *DeltaSnapshot, groups []*EncodedGroup, tr *vclock.Tracker) bool {
+	if snap == nil || snap.gen != x.delGen {
+		mMoverAborts.Inc()
+		return false
+	}
+	for _, s := range snap.Seqs {
+		x.delta.Delete(tr, value.Row{value.NewInt(s)}, nil)
+	}
+	for _, eg := range groups {
+		if eg.ord != nil {
+			x.sortOrd = eg.ord
+		}
+		x.groups = append(x.groups, eg.g)
+		x.nTotal += int64(eg.g.n)
+		mGroupsBuilt.Inc()
+	}
+	// nLive is unchanged: the rows moved from delta to compressed.
+	x.delGen++
+	mDeltaRows.Add(-int64(len(snap.Rows)))
+	mRowsMoved.Add(int64(len(snap.Rows)))
+	mMoves.Inc()
+	mCompactions.Inc()
+	return true
+}
+
+// FoldPlan matches buffered logical deletes against compressed rows.
+// Keys that found no compressed target (their rows still live in the
+// delta store) keep their remaining counts and stay buffered.
+type FoldPlan struct {
+	gen    uint64
+	groups []*rowGroup // groups visible at plan time, for identity checks
+	ndel   []int       // their bitmap counts at plan time
+	marks  [][]int32   // positions to mark, per group
+	keys   []foldKey   // unique buffered keys with remaining counts, tree order
+	// Consumed is the number of buffered entries the plan folds away.
+	Consumed int
+	scanned  int64
+}
+
+type foldKey struct {
+	row   value.Row
+	count int
+}
+
+// PlanFold scans the compressed rowgroups' key columns and consumes the
+// buffered-delete multiset in physical row order — exactly the order a
+// scan's anti-semi join consumes it, so folding never changes which
+// duplicate a buffered delete cancels. Requires at least a shared lock
+// (reads segments, bitmaps, and the buffer tree); the scan work is
+// charged to tr. Returns nil when the buffer is empty or nothing can be
+// folded yet.
+func (x *Index) PlanFold(tr *vclock.Tracker) *FoldPlan {
+	if x.nBuf == 0 || len(x.groups) == 0 {
+		return nil
+	}
+	p := &FoldPlan{gen: x.bufGen}
+	order := make([]string, 0, x.nBuf)
+	counts := make(map[string]int, x.nBuf)
+	rows := make(map[string]value.Row, x.nBuf)
+	var buf []byte
+	for it := x.delBuf.First(tr); it.Valid(); it.Next() {
+		buf = value.EncodeKey(buf[:0], it.Key()...)
+		if _, ok := counts[string(buf)]; !ok {
+			order = append(order, string(buf))
+			rows[string(buf)] = append(value.Row(nil), it.Key()...)
+		}
+		counts[string(buf)]++
+	}
+	remaining := x.nBuf
+	p.groups = append(p.groups, x.groups...)
+	p.ndel = make([]int, len(p.groups))
+	p.marks = make([][]int32, len(p.groups))
+	for gi, g := range p.groups {
+		p.ndel[gi] = g.ndel
+		if remaining == 0 {
+			continue
+		}
+		segs := make([]*segment, len(x.cfg.KeyOrdinals))
+		for ki, ko := range x.cfg.KeyOrdinals {
+			segs[ki] = x.store.Get(tr, g.segIDs[ko], true).(*segment)
+		}
+		for i := 0; i < g.n && remaining > 0; i++ {
+			if g.isDeleted(i) {
+				continue
+			}
+			p.scanned++
+			buf = buf[:0]
+			for _, seg := range segs {
+				buf = value.EncodeKey(buf, seg.valueAt(i))
+			}
+			if c := counts[string(buf)]; c > 0 {
+				counts[string(buf)] = c - 1
+				p.marks[gi] = append(p.marks[gi], int32(i))
+				p.Consumed++
+				remaining--
+			}
+		}
+	}
+	if p.Consumed == 0 {
+		return nil
+	}
+	for _, k := range order {
+		if counts[k] > 0 {
+			p.keys = append(p.keys, foldKey{row: rows[k], count: counts[k]})
+		}
+	}
+	if tr != nil {
+		tr.ChargeParallelCPU(vclock.CPU(p.scanned, tr.Model.RowCPU/4), 1.0)
+	}
+	return p
+}
+
+// InstallFold applies a fold plan: marks the matched positions in the
+// delete bitmaps and rebuilds the buffer with only the unconsumed keys
+// (delta-resident targets stay buffered until their rows are moved).
+// Requires the exclusive lock. Returns false when the buffer or the
+// matched groups changed since the plan was taken.
+func (x *Index) InstallFold(p *FoldPlan, tr *vclock.Tracker) bool {
+	if p == nil || p.gen != x.bufGen {
+		mMoverAborts.Inc()
+		return false
+	}
+	for gi, g := range p.groups {
+		if gi >= len(x.groups) || x.groups[gi] != g || g.ndel != p.ndel[gi] {
+			mMoverAborts.Inc()
+			return false
+		}
+	}
+	for gi, ps := range p.marks {
+		g := p.groups[gi]
+		for _, i := range ps {
+			g.markDeleted(int(i))
+		}
+	}
+	x.delBuf = btree.New(x.store)
+	rem := 0
+	for _, k := range p.keys {
+		for i := 0; i < k.count; i++ {
+			x.delBuf.Insert(tr, k.row, nil)
+			rem++
+		}
+	}
+	mBufferedDeletes.Add(-int64(x.nBuf - rem))
+	x.nBuf = rem
+	x.bufGen++
+	mFolds.Inc()
+	mCompactions.Inc()
+	return true
+}
+
+// RebuildPlan holds the surviving rows of one rowgroup, decoded for
+// re-encoding without its dead rows.
+type RebuildPlan struct {
+	gi   int
+	old  *rowGroup
+	ndel int
+	// Rows are the group's live rows in physical order.
+	Rows []value.Row
+}
+
+// PlanRebuild decodes the live rows of rowgroup gi so the mover can
+// re-encode them off-lock into a dense group. Requires at least a
+// shared lock. Returns nil when the group has no dead rows.
+func (x *Index) PlanRebuild(gi int, tr *vclock.Tracker) *RebuildPlan {
+	if gi < 0 || gi >= len(x.groups) {
+		return nil
+	}
+	g := x.groups[gi]
+	if g.ndel == 0 {
+		return nil
+	}
+	ncols := x.cfg.Schema.Len()
+	segs := make([]*segment, ncols)
+	for c := range segs {
+		segs[c] = x.store.Get(tr, g.segIDs[c], true).(*segment)
+	}
+	p := &RebuildPlan{gi: gi, old: g, ndel: g.ndel}
+	for i := 0; i < g.n; i++ {
+		if g.isDeleted(i) {
+			continue
+		}
+		row := make(value.Row, ncols)
+		for c := 0; c < ncols; c++ {
+			row[c] = segs[c].valueAt(i)
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	if tr != nil {
+		tr.ChargeParallelCPU(vclock.CPU(int64(g.n)*int64(ncols), tr.Model.BatchCPU), 1.0)
+	}
+	return p
+}
+
+// InstallRebuild swaps the rebuilt group (at most one: a rebuild never
+// grows a group) in place of the old one, freeing its segments and its
+// delete bitmap. An empty encoded slice removes the group outright (all
+// rows were dead). Requires the exclusive lock. Returns false when the
+// group was touched since the plan was taken; the caller must then
+// DiscardEncoded.
+func (x *Index) InstallRebuild(p *RebuildPlan, groups []*EncodedGroup, tr *vclock.Tracker) bool {
+	if p == nil || p.gi >= len(x.groups) || x.groups[p.gi] != p.old || p.old.ndel != p.ndel {
+		mMoverAborts.Inc()
+		return false
+	}
+	for _, id := range p.old.segIDs {
+		x.store.Free(id)
+	}
+	mDeleteBitmap.Add(-int64(p.old.ndel))
+	x.nTotal -= int64(p.old.n)
+	if len(groups) == 0 {
+		x.groups = append(x.groups[:p.gi], x.groups[p.gi+1:]...)
+	} else {
+		eg := groups[0]
+		if eg.ord != nil {
+			x.sortOrd = eg.ord
+		}
+		x.groups[p.gi] = eg.g
+		x.nTotal += int64(eg.g.n)
+		mGroupsBuilt.Inc()
+		for _, extra := range groups[1:] {
+			// Cannot happen (live rows <= old group size <= rowgroup
+			// size), but never leak segments.
+			x.DiscardEncoded([]*EncodedGroup{extra})
+		}
+	}
+	// nLive is unchanged: only dead rows were shed.
+	mRebuilds.Inc()
+	mCompactions.Inc()
+	return true
+}
+
+// Debt models what an index's write-side backlog costs every scan, and
+// what it would cost the mover to clear it.
+type Debt struct {
+	DeltaRows       int64
+	BufferedDeletes int
+	DeadRows        int
+	CompressedRows  int64
+	// ScanTax is the modeled extra CPU a full scan of all columns pays
+	// versus a fully compacted index.
+	ScanTax time.Duration
+	// Work is the modeled CPU to compact the backlog away.
+	Work time.Duration
+}
+
+// CompactionDebt evaluates the cost model the mover schedules by. The
+// dominant term mirrors the measured kernel cliff: any pending buffered
+// delete forces the whole compressed scan off the encoding-aware
+// kernels into decode-then-filter plus an anti-semi probe per row,
+// while delta rows merely pay row-at-a-time materialization.
+func (x *Index) CompactionDebt(m *vclock.Model) Debt {
+	ncols := x.cfg.Schema.Len()
+	d := Debt{
+		DeltaRows:       x.delta.Count(),
+		BufferedDeletes: x.nBuf,
+		DeadRows:        x.DeletedBitmapRows(),
+		CompressedRows:  x.nTotal,
+		ScanTax:         x.ScanTax(m, ncols),
+	}
+	if d.DeltaRows > 0 {
+		d.Work += vclock.CPU(d.DeltaRows*int64(ncols), m.RowCPU/4)
+	}
+	if d.BufferedDeletes > 0 {
+		d.Work += vclock.CPU(d.CompressedRows, m.RowCPU/4)
+	}
+	if d.DeadRows > 0 {
+		var denseRows int64
+		for _, g := range x.groups {
+			if g.ndel > 0 {
+				denseRows += int64(g.n)
+			}
+		}
+		d.Work += vclock.CPU(denseRows*int64(ncols), m.RowCPU/4+m.BatchCPU)
+	}
+	return d
+}
+
+// ScanTax models the extra CPU a scan decoding ncols columns pays for
+// the index's current delta/buffer/bitmap backlog, in the same vclock
+// currency the optimizer costs plans with. ncols <= 0 means all
+// columns.
+func (x *Index) ScanTax(m *vclock.Model, ncols int) time.Duration {
+	if ncols <= 0 {
+		ncols = x.cfg.Schema.Len()
+	}
+	var tax time.Duration
+	if dr := x.delta.Count(); dr > 0 {
+		// Delta rows scan row-at-a-time instead of through batch decode.
+		rowMode := vclock.CPU(dr, m.RowCPU)
+		batchMode := vclock.CPU(dr*int64(ncols), m.BatchCPU/2)
+		if rowMode > batchMode {
+			tax += rowMode - batchMode
+		}
+	}
+	if x.nBuf > 0 && x.nTotal > 0 {
+		// A pending delete buffer disables the encoding-aware kernels for
+		// the entire scan: every compressed row pays an anti-semi probe
+		// plus full decode-then-filter instead of encoded-domain
+		// evaluation with late materialization.
+		tax += vclock.CPU(x.nTotal, m.HashCPU)
+		tax += vclock.CPU(x.nTotal*int64(ncols), m.BatchCPU/2)
+	}
+	if dead := int64(x.DeletedBitmapRows()); dead > 0 {
+		// Dead rows are decoded and then discarded.
+		tax += vclock.CPU(dead*int64(ncols), m.BatchCPU/2)
+	}
+	return tax
+}
+
+// GroupDeadFraction returns the dead-row density of rowgroup gi.
+func (x *Index) GroupDeadFraction(gi int) float64 {
+	if gi < 0 || gi >= len(x.groups) || x.groups[gi].n == 0 {
+		return 0
+	}
+	g := x.groups[gi]
+	return float64(g.ndel) / float64(g.n)
+}

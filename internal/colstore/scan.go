@@ -1,6 +1,8 @@
 package colstore
 
 import (
+	"time"
+
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
@@ -86,6 +88,10 @@ type Scanner struct {
 	// valid only until the next Next call on this scanner.
 	selScratch []int
 	unpackBuf  []uint64
+	// deltaRowBuf and locScratch are the delta path's reusable row and
+	// locator-compaction buffers, same lifetime contract as the batch.
+	deltaRowBuf []value.Row
+	locScratch  []Locator
 
 	// Stats
 	GroupsScanned    int
@@ -474,7 +480,9 @@ func markNull(v *vec.Vec) {
 
 // nextDelta fills the batch from the delta store (row-mode access: the
 // delta store is a B+ tree, which is why heavy delta traffic hurts
-// columnstore scans).
+// columnstore scans). One tree range pass collects the batch's rows and
+// locators into reusable scratch buffers; the batch vectors are then
+// filled column-at-a-time so each vector's append loop stays tight.
 func (s *Scanner) nextDelta() bool {
 	it := s.deltaIt.it
 	if it == nil || !it.Valid() {
@@ -482,15 +490,19 @@ func (s *Scanner) nextDelta() bool {
 	}
 	s.batch.Reset()
 	s.locs = s.locs[:0]
-	n := 0
-	for it.Valid() && n < vec.BatchSize {
-		row := it.Row()
-		for ci, c := range s.cols {
-			s.batch.Cols[ci].Append(row[c])
-		}
+	rows := s.deltaRowBuf[:0]
+	for it.Valid() && len(rows) < vec.BatchSize {
+		rows = append(rows, it.Row())
 		s.locs = append(s.locs, Locator{Delta: true, Seq: it.Key()[0].Int()})
 		it.Next()
-		n++
+	}
+	s.deltaRowBuf = rows
+	n := len(rows)
+	for ci, c := range s.cols {
+		col := s.batch.Cols[ci]
+		for _, row := range rows {
+			col.Append(row[c])
+		}
 	}
 	s.batch.SetLen(n)
 	s.DeltaRowsScanned += n
@@ -523,14 +535,33 @@ func (s *Scanner) nextDelta() bool {
 			mKernelFallbacks.Inc()
 			sel = s.applyPredsNaive(sel)
 		}
-		live := make([]Locator, len(sel))
-		for i, p := range sel {
-			live[i] = s.locs[p]
+		// Compact locators to live rows through the scratch buffer, then
+		// swap so the old locator slice becomes the next batch's scratch.
+		live := s.locScratch[:0]
+		for _, p := range sel {
+			live = append(live, s.locs[p])
 		}
 		s.batch.Sel = sel
-		s.locs = live
+		s.locScratch, s.locs = s.locs, live
 	}
 	return true
+}
+
+// DeltaScanTax returns the modeled CPU premium this scan paid for rows
+// read from the delta store instead of compressed rowgroups: row-mode
+// materialization minus what batch decode of the same rows would have
+// cost. Zero when no delta rows were scanned or no tracker is attached.
+func (s *Scanner) DeltaScanTax() time.Duration {
+	if s.DeltaRowsScanned == 0 || s.tr == nil {
+		return 0
+	}
+	m := s.tr.Model
+	rowMode := vclock.CPU(int64(s.DeltaRowsScanned), m.RowCPU)
+	batchMode := vclock.CPU(int64(s.DeltaRowsScanned*len(s.cols)), m.BatchCPU/2)
+	if batchMode >= rowMode {
+		return 0
+	}
+	return rowMode - batchMode
 }
 
 // PruneFraction returns the fraction of compressed rows that a scan

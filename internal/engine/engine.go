@@ -67,6 +67,16 @@ type Database struct {
 	// query store (see internal/querystore). Atomic so readers under the
 	// shared lock never contend with EnableQueryStore.
 	qs atomic.Pointer[querystore.Store]
+
+	// mover is the background tuple mover, when enabled (see mover.go).
+	// highWater is the delta high-water policy applied to every
+	// columnstore: nil keeps the legacy synchronous inline compaction,
+	// otherwise inserts crossing the rowgroup boundary invoke it instead
+	// of compressing inline. suppressCompaction pins a no-op policy for
+	// the uncompacted ablation. All three are guarded by mu.
+	mover              *TupleMover
+	highWater          func()
+	suppressCompaction bool
 }
 
 // New creates a database with the given cost model and buffer pool
@@ -345,6 +355,11 @@ func (db *Database) run(st sql.Statement, o ExecOptions, text string) (*Result, 
 			})
 		}
 		return nil, err
+	}
+	if !readOnly(st) && db.highWater != nil {
+		// DDL may have created or rebuilt columnstores; point their
+		// delta high-water callbacks at the active policy.
+		db.applyHighWaterLocked()
 	}
 	db.observe(st, res, text)
 	return res, nil

@@ -1,0 +1,510 @@
+// Online tuple mover: the background maintenance loop that keeps every
+// columnstore's compressed-kernel fast path hot under sustained writes.
+//
+// The mover closes the HTAP loop the paper leaves open (ROADMAP item 3):
+// trickle inserts land in per-index delta B+ trees and secondary-index
+// deletes in delete buffers, and any such backlog pushes scans off the
+// encoding-aware kernels into decode-then-filter fallback. The mover
+// incrementally compacts that backlog while queries and DML keep
+// running, in three phases per step:
+//
+//  1. pick+plan under the SHARED statement lock: evaluate every index's
+//     compaction debt (colstore.CompactionDebt — the modeled scan tax a
+//     backlog charges every query, against the work to clear it), pick
+//     the highest debt-per-work target, and take an immutable snapshot
+//     or plan (SnapshotDelta / PlanFold / PlanRebuild);
+//  2. encode with NO lock held: compress the snapshotted rows into new
+//     rowgroups (colstore.EncodeRows) — the expensive part, paid while
+//     queries run freely;
+//  3. install under the EXCLUSIVE lock: a short critical section that
+//     validates the snapshot's generation stamp and swaps the encoded
+//     groups in (Install*). DML that invalidated the snapshot aborts
+//     the install; the encoded segments are discarded and the next
+//     sweep retries against fresh state.
+//
+// Determinism contract: every mover charge lands on its own maintenance
+// vclock tracker, never on a query's. Query Metrics therefore do not
+// depend on whether the mover is running — only on the physical state
+// the mover has (or has not yet) produced. Like parallel auto-DOP, the
+// background mover assumes an unbounded buffer pool: under a bounded
+// LRU pool its reads would reorder evictions and perturb query I/O
+// accounting (see DESIGN.md).
+package engine
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hybriddb/internal/colstore"
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/table"
+	"hybriddb/internal/vclock"
+)
+
+var (
+	mMoverWakeups = metrics.NewCounter("hybriddb_tuplemover_wakeups_total",
+		"tuple-mover loop wakeups (high-water signals and ticks)")
+	mMoverSteps = metrics.NewCounter("hybriddb_tuplemover_steps_total",
+		"tuple-mover incremental steps that attempted an install")
+	mMoverDebt = metrics.NewGauge("hybriddb_tuplemover_debt_ns",
+		"modeled scan tax (ns) of all columnstore write backlogs at the last sweep")
+)
+
+// MoverOptions tune the background tuple mover.
+type MoverOptions struct {
+	// Interval is the idle sweep cadence; high-water signals from Insert
+	// wake the loop sooner. 0 means 500µs.
+	Interval time.Duration
+	// MinMoveRows is the smallest delta backlog worth moving into a
+	// compressed rowgroup: below it the row-mode scan tax is cheaper
+	// than the rowgroup fragmentation a tiny group causes. 0 means
+	// rowGroupSize/8 per index (min 1). Drain ignores it.
+	MinMoveRows int
+	// RebuildThreshold is the delete-bitmap density at which a rowgroup
+	// is rebuilt without its dead rows. 0 means 0.25.
+	RebuildThreshold float64
+}
+
+func (o *MoverOptions) fill() {
+	if o.Interval <= 0 {
+		o.Interval = 500 * time.Microsecond
+	}
+	if o.RebuildThreshold <= 0 {
+		o.RebuildThreshold = 0.25
+	}
+}
+
+// MoverStats is a snapshot of the mover's cumulative work, all charged
+// to the maintenance tracker (never to queries).
+type MoverStats struct {
+	Steps     int64 // installs attempted
+	Moves     int64 // delta ranges moved into compressed rowgroups
+	Folds     int64 // delete-buffer folds installed
+	Rebuilds  int64 // rowgroups rebuilt to shed dead rows
+	Aborts    int64 // installs abandoned because DML won the race
+	RowsMoved int64
+	// Maintenance is the virtual cost of all mover work on its own
+	// vclock tracker.
+	Maintenance vclock.Metrics
+}
+
+// IndexDebt is one columnstore's compaction debt, for diagnostics
+// (hshell \debt) and tests.
+type IndexDebt struct {
+	Table string
+	Index string // "" for the primary columnstore
+	Debt  colstore.Debt
+}
+
+// TupleMover is the background maintenance loop. Create it with
+// Database.EnableTupleMover; stop it with DisableTupleMover or
+// Database.Close.
+type TupleMover struct {
+	db   *Database
+	opts MoverOptions
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	// tr is the maintenance vclock tracker. Only the mover goroutine
+	// (and Drain, which runs only while the loop is quiesced by the
+	// stepMu below) charges it.
+	stepMu sync.Mutex
+	tr     *vclock.Tracker
+
+	statMu sync.Mutex
+	stats  MoverStats
+}
+
+// EnableTupleMover starts the background tuple mover and routes every
+// columnstore's delta high-water signal to it (Insert stops compressing
+// inline at the rowgroup boundary; see colstore.Index.SetHighWater).
+// Enabling twice returns the running mover.
+func (db *Database) EnableTupleMover(opts MoverOptions) *TupleMover {
+	opts.fill()
+	db.mu.Lock()
+	if db.mover != nil {
+		m := db.mover
+		db.mu.Unlock()
+		return m
+	}
+	m := &TupleMover{
+		db:   db,
+		opts: opts,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		tr:   vclock.NewTracker(db.model),
+	}
+	db.mover = m
+	db.highWater = m.signal
+	db.applyHighWaterLocked()
+	db.mu.Unlock()
+	// The loop is a service goroutine, not a fork/join worker: it is
+	// joined by DisableTupleMover/Close via m.stop + m.done, which may
+	// happen many statements later.
+	//lint:ignore goroutinelife background service joined in DisableTupleMover (close(stop) then <-done), not in the spawning function; the statement lock is never held across its channel waits
+	go m.loop()
+	return m
+}
+
+// DisableTupleMover stops the background mover (waiting for any step in
+// flight), detaches the high-water callbacks, and restores synchronous
+// inline compaction. No-op when no mover is running.
+func (db *Database) DisableTupleMover() {
+	db.mu.Lock()
+	m := db.mover
+	db.mover = nil
+	if db.highWater != nil && !db.suppressCompaction {
+		db.highWater = nil
+		db.applyHighWaterLocked()
+	}
+	db.mu.Unlock()
+	if m == nil {
+		return
+	}
+	// Join outside the statement lock: the loop may be blocked on
+	// db.mu.Lock for an install, which must be allowed to finish.
+	close(m.stop)
+	<-m.done
+}
+
+// SuppressCompaction toggles the no-compaction ablation: on, delta
+// stores and delete buffers grow without bound (no inline compression
+// at the rowgroup boundary, no mover work on new high-water signals) so
+// benchmarks can measure the uncompacted decode-then-filter cliff. Off
+// restores the default (inline compaction, or the mover if running).
+func (db *Database) SuppressCompaction(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.suppressCompaction = on
+	switch {
+	case on:
+		db.highWater = func() {}
+	case db.mover != nil:
+		db.highWater = db.mover.signal
+	default:
+		db.highWater = nil
+	}
+	db.applyHighWaterLocked()
+}
+
+// Close stops background maintenance. The database remains usable for
+// statements afterwards (compaction reverts to synchronous).
+func (db *Database) Close() error {
+	db.DisableTupleMover()
+	return nil
+}
+
+// Mover returns the running background tuple mover, or nil.
+func (db *Database) Mover() *TupleMover {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.mover
+}
+
+// CompactionDebts reports every columnstore's current compaction debt,
+// ordered by table then index name.
+func (db *Database) CompactionDebts() []IndexDebt {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.compactionDebtsLocked()
+}
+
+func (db *Database) compactionDebtsLocked() []IndexDebt {
+	var out []IndexDebt
+	for _, name := range db.sortedTableNames() {
+		t := db.tables[name]
+		if cci := t.CCI(); cci != nil {
+			out = append(out, IndexDebt{Table: name, Debt: cci.CompactionDebt(db.model)})
+		}
+		for _, s := range t.Secondaries {
+			if s.Columnstore && !s.Hypothetical {
+				out = append(out, IndexDebt{Table: name, Index: s.Name, Debt: s.CSI.CompactionDebt(db.model)})
+			}
+		}
+	}
+	return out
+}
+
+// CompactTable synchronously compacts one table's columnstores (delta
+// compression and delete-buffer folding), or every table when name is
+// empty. The work is uncharged, like the legacy inline tuple move.
+func (db *Database) CompactTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if name == "" {
+		for _, t := range db.tables {
+			t.TupleMove(nil)
+		}
+		return true
+	}
+	t := db.tables[name]
+	if t == nil {
+		return false
+	}
+	t.TupleMove(nil)
+	return true
+}
+
+// sortedTableNames returns the catalog's table names in sorted order so
+// mover sweeps visit indexes in a stable order. Callers hold db.mu.
+func (db *Database) sortedTableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// applyHighWaterLocked points every materialized columnstore's delta
+// high-water callback at the current policy (nil = inline compaction).
+// Caller holds db.mu exclusively. Indexes created outside the SQL path
+// (e.g. advisor recommendations applied directly to tables) are hooked
+// on the next exclusive statement or mover install.
+func (db *Database) applyHighWaterLocked() {
+	for _, t := range db.tables {
+		if cci := t.CCI(); cci != nil {
+			cci.SetHighWater(db.highWater)
+		}
+		for _, s := range t.Secondaries {
+			if s.Columnstore && !s.Hypothetical {
+				s.CSI.SetHighWater(db.highWater)
+			}
+		}
+	}
+}
+
+// signal is the delta high-water callback: a non-blocking nudge so the
+// mover runs as soon as the signalling statement releases the lock. It
+// must never block — Insert calls it with the statement lock held.
+func (m *TupleMover) signal() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stats snapshots the mover's cumulative work counters.
+func (m *TupleMover) Stats() MoverStats {
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
+	return m.stats
+}
+
+// Drain synchronously runs mover steps until no actionable debt
+// remains (ignoring MinMoveRows, so the delta empties completely).
+// Safe to call while the background loop runs: steps are serialized by
+// stepMu. Intended for tests and quiesce points.
+func (m *TupleMover) Drain() {
+	for m.step(true) {
+	}
+}
+
+func (m *TupleMover) loop() {
+	defer close(m.done)
+	tick := time.NewTicker(m.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.wake:
+		case <-tick.C:
+		}
+		mMoverWakeups.Inc()
+		for m.step(false) {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// moverWork is one planned incremental step: exactly one of snap, fold,
+// or rebuild is set.
+type moverWork struct {
+	x       *colstore.Index
+	snap    *colstore.DeltaSnapshot
+	fold    *colstore.FoldPlan
+	rebuild *colstore.RebuildPlan
+	gi      int // rebuild target group
+}
+
+// step runs one pick→encode→install cycle. It returns true when it
+// attempted work (even if the install was aborted by racing DML), so
+// callers keep draining until the backlog is gone.
+func (m *TupleMover) step(drain bool) bool {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	db := m.db
+
+	db.mu.RLock()
+	w := m.pickLocked(drain)
+	db.mu.RUnlock()
+	if w == nil {
+		return false
+	}
+	mMoverSteps.Inc()
+
+	// Encode off-lock: queries and DML run concurrently with the
+	// compression work.
+	var encoded []*colstore.EncodedGroup
+	switch {
+	case w.snap != nil:
+		encoded = w.x.EncodeRows(w.snap.Rows, m.tr)
+	case w.rebuild != nil:
+		encoded = w.x.EncodeRows(w.rebuild.Rows, m.tr)
+	}
+
+	// Install under a short exclusive critical section.
+	db.mu.Lock()
+	var ok bool
+	switch {
+	case w.snap != nil:
+		ok = w.x.InstallMove(w.snap, encoded, m.tr)
+	case w.fold != nil:
+		ok = w.x.InstallFold(w.fold, m.tr)
+	case w.rebuild != nil:
+		ok = w.x.InstallRebuild(w.rebuild, encoded, m.tr)
+	}
+	if db.mover == m {
+		// Hook any columnstores created outside the SQL path since the
+		// last exclusive statement.
+		db.applyHighWaterLocked()
+	}
+	db.mu.Unlock()
+	if !ok && encoded != nil {
+		w.x.DiscardEncoded(encoded)
+	}
+
+	m.statMu.Lock()
+	m.stats.Steps++
+	switch {
+	case !ok:
+		m.stats.Aborts++
+	case w.snap != nil:
+		m.stats.Moves++
+		m.stats.RowsMoved += int64(len(w.snap.Rows))
+	case w.fold != nil:
+		m.stats.Folds++
+	case w.rebuild != nil:
+		m.stats.Rebuilds++
+	}
+	m.stats.Maintenance = m.tr.Snapshot()
+	m.statMu.Unlock()
+	return true
+}
+
+// pickLocked evaluates every columnstore's compaction debt, refreshes
+// the debt gauge, and plans the step for the highest debt-per-work
+// index: fold its delete buffer first (any pending buffered delete
+// forces the whole scan off the kernels — the measured cliff), then
+// move its delta backlog, then rebuild its deadest rowgroup. Caller
+// holds at least the shared lock. Returns nil when nothing is worth
+// doing.
+func (m *TupleMover) pickLocked(drain bool) *moverWork {
+	db := m.db
+	var (
+		best      *colstore.Index
+		bestScore float64
+		totalTax  int64
+	)
+	for _, name := range db.sortedTableNames() {
+		t := db.tables[name]
+		for _, x := range tableCSIs(t) {
+			d := x.CompactionDebt(db.model)
+			totalTax += int64(d.ScanTax)
+			if !m.actionable(x, d, drain) {
+				continue
+			}
+			score := debtPerWork(d)
+			if best == nil || score > bestScore {
+				best, bestScore = x, score
+			}
+		}
+	}
+	mMoverDebt.Set(totalTax)
+	if best == nil {
+		return nil
+	}
+	w := &moverWork{x: best}
+	switch {
+	case best.BufferedDeletes() > 0 && best.Groups() > 0:
+		if w.fold = best.PlanFold(m.tr); w.fold != nil {
+			return w
+		}
+		// Every buffered delete targets delta-resident rows; fall
+		// through to moving the delta so a later fold can land.
+		fallthrough
+	case best.DeltaRows() > 0 && (drain || best.DeltaRows() >= int64(m.minMoveRows(best))):
+		if w.snap = best.SnapshotDelta(best.RowGroupSize(), m.tr); w.snap != nil {
+			return w
+		}
+	}
+	for gi := 0; gi < best.Groups(); gi++ {
+		if best.GroupDeadFraction(gi) >= m.opts.RebuildThreshold {
+			if w.rebuild = best.PlanRebuild(gi, m.tr); w.rebuild != nil {
+				w.gi = gi
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+// actionable reports whether an index has debt the mover would act on.
+func (m *TupleMover) actionable(x *colstore.Index, d colstore.Debt, drain bool) bool {
+	if d.BufferedDeletes > 0 && x.Groups() > 0 {
+		return true
+	}
+	if d.DeltaRows > 0 && (drain || d.DeltaRows >= int64(m.minMoveRows(x))) {
+		return true
+	}
+	for gi := 0; gi < x.Groups(); gi++ {
+		if x.GroupDeadFraction(gi) >= m.opts.RebuildThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// minMoveRows resolves the per-index minimum delta move size.
+func (m *TupleMover) minMoveRows(x *colstore.Index) int {
+	if m.opts.MinMoveRows > 0 {
+		return m.opts.MinMoveRows
+	}
+	n := x.RowGroupSize() / 8
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// debtPerWork scores an index for scheduling: modeled scan tax per unit
+// of compaction work. Zero-work debt (shouldn't happen) sorts first.
+func debtPerWork(d colstore.Debt) float64 {
+	if d.Work <= 0 {
+		return float64(d.ScanTax)
+	}
+	return float64(d.ScanTax) / float64(d.Work)
+}
+
+// tableCSIs lists a table's materialized columnstores, primary first.
+func tableCSIs(t *table.Table) []*colstore.Index {
+	var out []*colstore.Index
+	if cci := t.CCI(); cci != nil {
+		out = append(out, cci)
+	}
+	for _, s := range t.Secondaries {
+		if s.Columnstore && !s.Hypothetical {
+			out = append(out, s.CSI)
+		}
+	}
+	return out
+}

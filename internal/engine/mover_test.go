@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hybriddb/internal/plan"
+	"hybriddb/internal/vclock"
+)
+
+// moverDB is a database with a small rowgroup size (so compaction
+// boundaries are cheap to reach), one table, and a secondary CSI.
+func moverDB(t *testing.T, rowGroup int) *Database {
+	t.Helper()
+	db := New(vclock.DefaultModel(vclock.DRAM), 0)
+	db.DefaultRowGroupSize = rowGroup
+	mustExec(t, db, "CREATE TABLE t (col1 BIGINT, col2 BIGINT, PRIMARY KEY (col1))")
+	mustExec(t, db, "CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON t")
+	return db
+}
+
+// TestTupleMoverConcurrentStress runs the background mover against
+// parallel SELECT readers (workers 1 and 4) and a serial INSERT/DELETE
+// writer. Meaningful under -race: it exercises the snapshot-under-
+// shared-lock / encode-off-lock / install-under-exclusive-lock split.
+func TestTupleMoverConcurrentStress(t *testing.T) {
+	db := moverDB(t, 256)
+	defer db.Close()
+	db.EnableTupleMover(MoverOptions{Interval: 200 * time.Microsecond})
+
+	const (
+		readers    = 4
+		readIters  = 60
+		writeIters = 1200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*readIters+writeIters)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writeIters; i++ {
+			var q string
+			if i%4 == 3 {
+				q = fmt.Sprintf("DELETE FROM t WHERE col1 = %d", i-3)
+			} else {
+				q = fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i%17)
+			}
+			if _, err := db.Exec(q); err != nil {
+				errs <- fmt.Errorf("writer %q: %w", q, err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			workers := 1
+			if w%2 == 1 {
+				workers = 4
+			}
+			for i := 0; i < readIters; i++ {
+				q := fmt.Sprintf("SELECT count(*), sum(col2) FROM t WHERE col2 < %d", 1+i%17)
+				res, err := db.Exec(q, ExecOptions{Parallelism: workers})
+				if err != nil {
+					errs <- fmt.Errorf("reader %d %q: %w", w, q, err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					errs <- fmt.Errorf("reader %d: %d rows", w, len(res.Rows))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiesce: drain the backlog completely and check nothing was
+	// dropped or duplicated by the concurrent compaction.
+	db.Mover().Drain()
+	stats := db.Mover().Stats()
+	if stats.Moves == 0 {
+		t.Error("mover never installed a move under the write stream")
+	}
+	if stats.Maintenance.CPUTime == 0 {
+		t.Error("mover work was not charged to the maintenance tracker")
+	}
+	for _, d := range db.CompactionDebts() {
+		if d.Debt.DeltaRows != 0 || d.Debt.BufferedDeletes != 0 {
+			t.Errorf("debt after drain: %+v", d)
+		}
+	}
+	// 3 inserts then 1 delete per 4 writer iterations.
+	want := writeIters - 2*(writeIters/4)
+	res := mustExec(t, db, "SELECT count(*) FROM t")
+	if got := res.Rows[0][0].Int(); got != int64(want) {
+		t.Errorf("final count = %d, want %d", got, want)
+	}
+	if csi := db.Table("t").SecondaryCSI().CSI; csi.InlineCompactions() != 0 {
+		t.Errorf("inline compactions = %d with mover attached", csi.InlineCompactions())
+	}
+}
+
+// TestTupleMoverEquivalence applies the same DML sequence to a database
+// with the background mover racing alongside and to one compacting
+// synchronously, then compares query results AND Metrics bit-for-bit.
+// The two diverge only in physical rowgroup layout, so the comparison
+// runs after rebuilding the CSI on both — same logical content, same
+// physical state, so any difference means the mover corrupted data.
+func TestTupleMoverEquivalence(t *testing.T) {
+	queries := []string{
+		"SELECT count(*) FROM t",
+		"SELECT sum(col2) FROM t WHERE col1 < 700",
+		"SELECT col1, col2 FROM t WHERE col2 = 3 ORDER BY col1",
+		"SELECT count(*), sum(col1) FROM t WHERE col2 >= 10",
+	}
+	run := func(withMover bool) []*Result {
+		db := moverDB(t, 128)
+		defer db.Close()
+		if withMover {
+			db.EnableTupleMover(MoverOptions{Interval: 100 * time.Microsecond})
+		}
+		for i := 0; i < 900; i++ {
+			mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i%17))
+			if i%5 == 4 {
+				mustExec(t, db, fmt.Sprintf("DELETE FROM t WHERE col1 = %d", i-2))
+			}
+		}
+		if withMover {
+			db.Mover().Drain()
+			db.DisableTupleMover()
+		}
+		// Normalize physical layout: rebuild the CSI from the primary.
+		mustExec(t, db, "DROP INDEX csi ON t")
+		mustExec(t, db, "CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON t")
+		var out []*Result
+		for _, q := range queries {
+			out = append(out, mustExec(t, db, q))
+		}
+		return out
+	}
+	moved, synced := run(true), run(false)
+	for i := range queries {
+		if !reflect.DeepEqual(moved[i].Rows, synced[i].Rows) {
+			t.Errorf("%q: rows diverged\nmover: %v\nsync:  %v", queries[i], moved[i].Rows, synced[i].Rows)
+		}
+		if moved[i].Metrics != synced[i].Metrics {
+			t.Errorf("%q: metrics diverged\nmover: %+v\nsync:  %+v", queries[i], moved[i].Metrics, synced[i].Metrics)
+		}
+	}
+}
+
+// TestMoverRemovesInsertLatencySpike: with the mover attached, the
+// insert that crosses the rowgroup boundary is charged exactly the same
+// virtual cost as any other insert (no inline whole-delta encode), and
+// the delta still gets compacted — asynchronously.
+func TestMoverRemovesInsertLatencySpike(t *testing.T) {
+	db := moverDB(t, 64)
+	defer db.Close()
+	db.EnableTupleMover(MoverOptions{Interval: time.Hour}) // signal-driven only
+	csi := db.Table("t").SecondaryCSI().CSI
+
+	var mid, boundary vclock.Metrics
+	for i := 0; i < 70; i++ {
+		res := mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i))
+		switch i {
+		case 10:
+			mid = res.Metrics
+		case 63: // 64th row: delta hits the rowgroup size
+			boundary = res.Metrics
+		}
+	}
+	if boundary != mid {
+		t.Errorf("boundary insert charged %+v, mid insert %+v — inline-compression spike is back", boundary, mid)
+	}
+	if csi.InlineCompactions() != 0 {
+		t.Errorf("inline compactions = %d", csi.InlineCompactions())
+	}
+	// The high-water signal (not the ticker: interval is an hour) must
+	// wake the mover and compact the backlog. Poll through
+	// CompactionDebts, which takes the statement lock — reading the
+	// index directly would race with mover installs.
+	deltaRows := func() int64 {
+		for _, d := range db.CompactionDebts() {
+			if d.Index == "csi" {
+				return d.Debt.DeltaRows
+			}
+		}
+		return -1
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for deltaRows() >= 64 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := deltaRows(); got >= 64 {
+		t.Fatalf("mover never drained the signalled backlog: delta=%d", got)
+	}
+	if got := mustExec(t, db, "SELECT count(*) FROM t").Rows[0][0].Int(); got != 70 {
+		t.Errorf("count = %d, want 70", got)
+	}
+}
+
+// TestPlanFlipsUnderCompactionDebt: the optimizer's CSI costing charges
+// the index's scan tax, so a delta-bloated CSI loses to the B+ path —
+// the paper's hybrid trade-off — and wins it back after compaction.
+func TestPlanFlipsUnderCompactionDebt(t *testing.T) {
+	db := New(vclock.DefaultModel(vclock.DRAM), 0)
+	db.DefaultRowGroupSize = 4096
+	mustExec(t, db, "CREATE TABLE t (col1 BIGINT, col2 BIGINT, PRIMARY KEY (col1))")
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i%7))
+	}
+	mustExec(t, db, "CREATE NONCLUSTERED COLUMNSTORE INDEX csi ON t")
+
+	access := func() plan.AccessKind {
+		root, _, err := db.Plan("SELECT col1, col2 FROM t", ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := plan.LeafAccess(root.Input)
+		if len(kinds) != 1 {
+			t.Fatalf("leaf accesses = %v", kinds)
+		}
+		return kinds[0]
+	}
+
+	if got := access(); got != plan.AccessCSIScan {
+		t.Fatalf("compacted CSI not chosen: %v", got)
+	}
+
+	// Bloat the delta store (staying under the rowgroup size, so no
+	// synchronous compaction hides the debt) and buffer some deletes.
+	for i := 100; i < 3600; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i%7))
+	}
+	mustExec(t, db, "DELETE FROM t WHERE col1 < 20")
+	csi := db.Table("t").SecondaryCSI().CSI
+	if csi.DeltaRows() == 0 || csi.BufferedDeletes() == 0 {
+		t.Fatalf("debt not staged: delta=%d buf=%d", csi.DeltaRows(), csi.BufferedDeletes())
+	}
+	if got := access(); got != plan.AccessClusteredScan {
+		t.Fatalf("bloated CSI still chosen: %v", got)
+	}
+
+	// Compaction clears the debt; the columnstore wins again.
+	db.TupleMoveAll()
+	if got := access(); got != plan.AccessCSIScan {
+		t.Fatalf("compacted CSI not re-chosen: %v", got)
+	}
+}
+
+// TestSuppressCompactionAblation: SuppressCompaction(true) lets the
+// backlog grow without bound (the mover-off benchmark arm), and
+// switching it off restores the inline path.
+func TestSuppressCompactionAblation(t *testing.T) {
+	db := moverDB(t, 64)
+	defer db.Close()
+	db.SuppressCompaction(true)
+	for i := 0; i < 200; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i))
+	}
+	csi := db.Table("t").SecondaryCSI().CSI
+	if csi.DeltaRows() != 200 || csi.InlineCompactions() != 0 {
+		t.Fatalf("suppressed: delta=%d inline=%d", csi.DeltaRows(), csi.InlineCompactions())
+	}
+	db.SuppressCompaction(false)
+	for i := 200; i < 300; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i))
+	}
+	if csi.DeltaRows() >= 300 {
+		t.Fatalf("inline compaction not restored: delta=%d", csi.DeltaRows())
+	}
+}
+
+// TestMoverLifecycle: enable is idempotent, disable joins the loop, and
+// the database keeps working afterwards with synchronous compaction.
+func TestMoverLifecycle(t *testing.T) {
+	db := moverDB(t, 64)
+	m1 := db.EnableTupleMover(MoverOptions{})
+	if m2 := db.EnableTupleMover(MoverOptions{}); m2 != m1 {
+		t.Fatal("double enable created a second mover")
+	}
+	if db.Mover() != m1 {
+		t.Fatal("Mover() does not return the running mover")
+	}
+	db.DisableTupleMover()
+	db.DisableTupleMover() // no-op
+	if db.Mover() != nil {
+		t.Fatal("mover still attached after disable")
+	}
+	csi := db.Table("t").SecondaryCSI().CSI
+	if csi.HighWaterSet() {
+		t.Fatal("high-water callback still attached after disable")
+	}
+	for i := 0; i < 70; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i))
+	}
+	if csi.InlineCompactions() == 0 {
+		t.Fatal("synchronous compaction not restored after disable")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -159,7 +159,10 @@ func (s *csiBatchSource) observe(rows int, b0 int64, t0 time.Duration) {
 	s.tn.SetAttr("rowgroups_scanned", int64(s.sc.GroupsScanned))
 	s.tn.SetAttr("rowgroups_pruned", int64(s.sc.GroupsEliminated))
 	if s.sc.DeltaRowsScanned > 0 {
-		s.tn.SetAttr("delta_rows", int64(s.sc.DeltaRowsScanned))
+		s.tn.SetAttr("delta_rows_scanned", int64(s.sc.DeltaRowsScanned))
+		// The modeled extra CPU this scan paid for the uncompacted
+		// backlog — the quantity the tuple mover schedules against.
+		s.tn.SetAttr("delta_scan_tax", int64(s.sc.DeltaScanTax()))
 	}
 	if s.sc.KernelBatches > 0 {
 		s.tn.SetAttr("kernel_batches", int64(s.sc.KernelBatches))

@@ -204,6 +204,10 @@ func candidates(t *table.Table, info *tableInfo, opts Options) []accessCand {
 type csiMeta interface {
 	ColumnBytes(int) int64
 	PruneFraction(int, value.Value, value.Value) float64
+	// ScanTax is the extra CPU the index's write-side backlog (delta
+	// rows, buffered deletes, delete-bitmap dead rows) charges a scan of
+	// ncols columns — see colstore.Index.ScanTax.
+	ScanTax(m *vclock.Model, ncols int) time.Duration
 }
 
 // csiCandidate costs a columnstore scan (primary or secondary,
@@ -281,6 +285,13 @@ func csiCandidate(t *table.Table, info *tableInfo, opts Options, sec *table.Seco
 		s.BatchMode = false
 	}
 	cpu := vclock.CPU(int64(scanned*float64(len(need)+1)), perValue)
+	if idx != nil {
+		// Compaction debt: a bloated delta store or pending delete
+		// buffer pushes the scan off the encoding-aware kernels, so a
+		// backlogged CSI can lose to the B+ path until the tuple mover
+		// catches up — exactly the hybrid trade-off the paper measures.
+		cpu += idx.ScanTax(m, len(need))
+	}
 	return accessCand{
 		scan:    s,
 		outRows: outRows,

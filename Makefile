@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench benchsmoke bench-scaling bench-htap
+.PHONY: all build vet lint test race ci bench benchsmoke bench-scaling bench-htap bench-wire
 
 all: ci
 
@@ -49,7 +49,7 @@ race:
 # and gather paths are exercised even when no test opts into them.
 ci: vet lint build test race benchsmoke
 
-bench:
+bench: bench-wire
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 	BENCH_JSON=$(CURDIR)/BENCH_parallel.json BENCH_KERNELS_JSON=$(CURDIR)/BENCH_kernels.json \
 		BENCH_BATCH_JSON=$(CURDIR)/BENCH_batch.json \
@@ -75,6 +75,16 @@ bench-htap:
 	BENCH_HTAP_JSON=$(CURDIR)/BENCH_htap.json \
 		$(GO) test -bench 'BenchmarkHTAPMixed' -benchtime 1x -run '^$$' .
 
+# bench-wire runs the closed-loop wire-protocol load benchmark against
+# a live hybridd serving stack on a loopback socket and writes
+# BENCH_wire.json: single-client p50/p99 overhead vs the in-process
+# path, then 64 concurrent clients against an admission limit of 4 with
+# byte-for-byte result-identity checks. One iteration: each is a
+# complete fixed-size closed loop.
+bench-wire:
+	BENCH_WIRE_JSON=$(CURDIR)/BENCH_wire.json \
+		$(GO) test -bench 'BenchmarkWireLoad' -benchtime 1x -run '^$$' .
+
 # benchsmoke also runs the kernel-vs-naive benchmarks for one iteration:
 # each iteration asserts both paths select the identical row set, so the
 # differential check runs in CI without benchmark timing. The query-
@@ -88,6 +98,10 @@ bench-htap:
 # bench_htap_test.go): background-mover reads within 1.5x of the
 # compacted baseline, no-compaction reads materially slower (the
 # delta-scan-tax canary), and no inline-compaction write spike while
-# a mover is attached.
+# a mover is attached. The wire load benchmark rides along too: its
+# gates (see wireGuardFailures in bench_wire_test.go) bound wire p50 to
+# a small constant factor of in-process latency and fail on any client
+# error, dropped/duplicated row, or an admission controller that never
+# engaged under the 64-client overload.
 benchsmoke:
-	BENCH_GUARD=1 $(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkScaling(Scan|Agg|Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture|BenchmarkHTAPMixed' -benchtime 1x -run '^$$' .
+	BENCH_GUARD=1 $(GO) test -bench 'BenchmarkParallel(Scan|Agg)|BenchmarkBatch(Join|TopN)|BenchmarkScaling(Scan|Agg|Join|TopN)|BenchmarkKernel(RLE|Dict)|BenchmarkQueryStoreCapture|BenchmarkHTAPMixed|BenchmarkWireLoad' -benchtime 1x -run '^$$' .

@@ -246,7 +246,9 @@ func TestMain(m *testing.M) {
 	computeParallelSpeedups()
 	computeHTAPRatios()
 	if os.Getenv("BENCH_GUARD") != "" {
-		for _, f := range append(benchGuardFailures(), htapGuardFailures()...) {
+		failures := append(benchGuardFailures(), htapGuardFailures()...)
+		failures = append(failures, wireGuardFailures()...)
+		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "BENCH_GUARD: %s\n", f)
 			if code == 0 {
 				code = 1
@@ -349,6 +351,24 @@ func TestMain(m *testing.M) {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "BENCH_HTAP_JSON: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if path := os.Getenv("BENCH_WIRE_JSON"); path != "" && len(wireRecords) > 0 {
+		benchMu.Lock()
+		out := struct {
+			benchEnv
+			Results []wireBenchRecord `json:"results"`
+		}{currentBenchEnv([]int{wireBenchClients}), wireRecords}
+		benchMu.Unlock()
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "BENCH_WIRE_JSON: %v\n", err)
 			if code == 0 {
 				code = 1
 			}

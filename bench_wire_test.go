@@ -1,0 +1,357 @@
+// Closed-loop wire-protocol load benchmark: hybridd's serving stack
+// (internal/wire server + client/hybridsql) measured against the
+// in-process library path on the same database.
+//
+// Two phases:
+//
+//	overhead  one client, one moderately heavy aggregation — the wire
+//	          round-trip (frame encode, TCP loopback, fetch loop)
+//	          versus calling db.Exec directly. The BENCH_GUARD gate
+//	          bounds wire p50 to a small constant factor of the
+//	          in-process p50 plus a fixed socket allowance, so protocol
+//	          bloat shows up as a CI failure rather than a slow drift.
+//	load      wireBenchClients (64) concurrent clients, each its own
+//	          connection and session, against an admission limit of
+//	          wireBenchAdmission (4) — deliberate overload. Every
+//	          client renders every result and compares it byte-for-byte
+//	          against the in-process reference for the same query: a
+//	          dropped, duplicated, or reordered row anywhere in the
+//	          concurrent fetch path is a row_mismatches count, which
+//	          BENCH_GUARD fails on. The admission controller must
+//	          demonstrably engage: max sampled queue depth and the
+//	          waits counter delta must both be positive, with zero
+//	          transport errors.
+//
+// `make bench-wire` writes p50/p99/throughput per phase into
+// BENCH_wire.json with the standard benchEnv block.
+package hybriddb
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hybriddb/client/hybridsql"
+	"hybriddb/internal/metrics"
+	"hybriddb/internal/value"
+	"hybriddb/internal/wire"
+)
+
+const (
+	wireBenchClients   = 64
+	wireBenchAdmission = 4
+	wireBenchIters     = 6   // statements per client in the load phase
+	wireOverheadIters  = 120 // statements per side in the overhead phase
+)
+
+// wireBenchQueries is the load mix. All reads: concurrency identity is
+// the point, and reads exercise the shared statement lock + fetch
+// paging. The first returns 64 aggregate rows, the second ~3k detail
+// rows so row batches actually page.
+var wireBenchQueries = []string{
+	"SELECT g, count(*), sum(v), min(k), max(k) FROM pb GROUP BY g",
+	"SELECT k, v FROM pb WHERE g = 7",
+}
+
+type wireBenchRecord struct {
+	Phase          string  `json:"phase"`
+	Clients        int     `json:"clients"`
+	AdmissionLimit int     `json:"admission_limit"`
+	Statements     int64   `json:"statements"`
+	Errors         int64   `json:"errors"`
+	RowMismatches  int64   `json:"row_mismatches"`
+	P50US          float64 `json:"p50_us"`
+	P99US          float64 `json:"p99_us"`
+	ThroughputQPS  float64 `json:"throughput_qps"`
+	InprocP50US    float64 `json:"inproc_p50_us,omitempty"` // overhead phase only
+	OverheadRatio  float64 `json:"overhead_ratio,omitempty"`
+	MaxQueueDepth  int64   `json:"max_queue_depth"`
+	AdmissionWaits int64   `json:"admission_waits"`
+	NsPerOp        float64 `json:"ns_per_op"`
+}
+
+// startWireBenchServer serves db on a loopback socket for the duration
+// of the (sub-)benchmark.
+func startWireBenchServer(b *testing.B, db *DB, opts wire.Options) string {
+	b.Helper()
+	srv := wire.NewServer(db.Internal(), opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// renderRows canonicalizes a result for identity comparison: every
+// value rendered with value.Value.String, '|' between columns, one row
+// per line. Both paths produce value.Row, so a byte-equal rendering
+// means an identical result set in identical order.
+func renderRows(rows []value.Row) string {
+	var sb strings.Builder
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func percentileUS(durs []time.Duration, p float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Microsecond)
+}
+
+// runWireOverhead measures single-client wire latency against the
+// in-process library path for the same statement on the same database.
+func runWireOverhead(b *testing.B) wireBenchRecord {
+	b.Helper()
+	db := parallelBenchDB(b)
+	defer db.Close()
+	addr := startWireBenchServer(b, db, wire.Options{})
+	cli, err := hybridsql.Connect(hybridsql.Config{Addr: addr, User: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+
+	query := wireBenchQueries[0]
+	inproc := make([]time.Duration, 0, wireOverheadIters)
+	for i := 0; i < wireOverheadIters; i++ {
+		t0 := time.Now()
+		if _, err := db.Exec(query); err != nil {
+			b.Fatal(err)
+		}
+		inproc = append(inproc, time.Since(t0))
+	}
+	wireDurs := make([]time.Duration, 0, wireOverheadIters)
+	start := time.Now()
+	for i := 0; i < wireOverheadIters; i++ {
+		t0 := time.Now()
+		if _, _, err := cli.Exec(query); err != nil {
+			b.Fatal(err)
+		}
+		wireDurs = append(wireDurs, time.Since(t0))
+	}
+	wall := time.Since(start)
+
+	rec := wireBenchRecord{
+		Phase:         "overhead",
+		Clients:       1,
+		Statements:    wireOverheadIters,
+		P50US:         percentileUS(wireDurs, 0.50),
+		P99US:         percentileUS(wireDurs, 0.99),
+		InprocP50US:   percentileUS(inproc, 0.50),
+		ThroughputQPS: float64(wireOverheadIters) / wall.Seconds(),
+	}
+	if rec.InprocP50US > 0 {
+		rec.OverheadRatio = rec.P50US / rec.InprocP50US
+	}
+	return rec
+}
+
+// runWireLoad drives the overloaded closed loop and verifies result
+// identity under concurrency.
+func runWireLoad(b *testing.B) wireBenchRecord {
+	b.Helper()
+	db := parallelBenchDB(b)
+	defer db.Close()
+
+	// In-process reference results, taken before traffic starts. The
+	// engine is deterministic, so every wire execution of the same
+	// query must reproduce these byte-for-byte.
+	refs := make([]string, len(wireBenchQueries))
+	for i, q := range wireBenchQueries {
+		res, err := db.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = renderRows(res.Rows)
+	}
+
+	addr := startWireBenchServer(b, db, wire.Options{AdmissionLimit: wireBenchAdmission})
+	waits0 := int64(metrics.Default().Value("engine_admission_waits_total"))
+
+	// Sample the queue-depth gauge while the load runs; with 64 clients
+	// on 4 slots the queue is tens deep for the whole run, so a coarse
+	// sampler reliably observes it.
+	var maxDepth atomic.Int64
+	samplerDone := make(chan struct{})
+	samplerStop := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-time.After(200 * time.Microsecond):
+				if d := int64(metrics.Default().Value("engine_admission_queue_depth")); d > maxDepth.Load() {
+					maxDepth.Store(d)
+				}
+			}
+		}
+	}()
+
+	var (
+		errs       atomic.Int64
+		mismatches atomic.Int64
+		latMu      sync.Mutex
+		lats       []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < wireBenchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := hybridsql.Connect(hybridsql.Config{Addr: addr, User: fmt.Sprintf("load%02d", c)})
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer cli.Close()
+			mine := make([]time.Duration, 0, wireBenchIters)
+			for i := 0; i < wireBenchIters; i++ {
+				qi := (c + i) % len(wireBenchQueries)
+				t0 := time.Now()
+				_, rows, err := cli.Exec(wireBenchQueries[qi])
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				mine = append(mine, time.Since(t0))
+				if renderRows(rows) != refs[qi] {
+					mismatches.Add(1)
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, mine...)
+			latMu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(samplerStop)
+	<-samplerDone
+
+	return wireBenchRecord{
+		Phase:          "load",
+		Clients:        wireBenchClients,
+		AdmissionLimit: wireBenchAdmission,
+		Statements:     int64(len(lats)),
+		Errors:         errs.Load(),
+		RowMismatches:  mismatches.Load(),
+		P50US:          percentileUS(lats, 0.50),
+		P99US:          percentileUS(lats, 0.99),
+		ThroughputQPS:  float64(len(lats)) / wall.Seconds(),
+		MaxQueueDepth:  maxDepth.Load(),
+		AdmissionWaits: int64(metrics.Default().Value("engine_admission_waits_total")) - waits0,
+	}
+}
+
+// BenchmarkWireLoad runs both phases. Each iteration rebuilds the
+// database and server from scratch; the committed artifact keeps the
+// final iteration's numbers.
+func BenchmarkWireLoad(b *testing.B) {
+	b.Run("overhead", func(b *testing.B) {
+		var rec wireBenchRecord
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec = runWireOverhead(b)
+		}
+		b.StopTimer()
+		rec.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		recordWireBench(rec)
+	})
+	b.Run("load", func(b *testing.B) {
+		var rec wireBenchRecord
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec = runWireLoad(b)
+		}
+		b.StopTimer()
+		rec.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		recordWireBench(rec)
+	})
+}
+
+var wireRecords []wireBenchRecord
+
+func recordWireBench(rec wireBenchRecord) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	for i := range wireRecords {
+		if wireRecords[i].Phase == rec.Phase {
+			wireRecords[i] = rec
+			return
+		}
+	}
+	wireRecords = append(wireRecords, rec)
+}
+
+// wireGuardFailures gates the wire stack:
+//
+//   - overhead: wire p50 must stay within 3x the in-process p50 plus a
+//     2ms socket allowance — the allowance dominates for cheap
+//     statements (loopback round-trips are timer noise relative to
+//     them), the factor dominates for heavy ones;
+//   - load: zero transport errors, zero row mismatches (any dropped or
+//     duplicated row under concurrency fails the build), and the
+//     admission controller must have engaged (positive queue depth and
+//     waits while 64 clients contend for 4 slots).
+func wireGuardFailures() []string {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	var failures []string
+	for _, r := range wireRecords {
+		switch r.Phase {
+		case "overhead":
+			if limit := 3*r.InprocP50US + 2000; r.InprocP50US > 0 && r.P50US > limit {
+				failures = append(failures, fmt.Sprintf(
+					"wire/overhead: wire p50 %.0fus exceeds 3x in-process p50 %.0fus + 2ms (limit %.0fus)",
+					r.P50US, r.InprocP50US, limit))
+			}
+		case "load":
+			if r.Errors > 0 {
+				failures = append(failures, fmt.Sprintf("wire/load: %d client errors (want 0)", r.Errors))
+			}
+			if r.RowMismatches > 0 {
+				failures = append(failures, fmt.Sprintf(
+					"wire/load: %d results differed from the in-process reference — rows dropped, duplicated, or reordered under concurrency", r.RowMismatches))
+			}
+			if r.Statements != int64(wireBenchClients*wireBenchIters) {
+				failures = append(failures, fmt.Sprintf(
+					"wire/load: %d statements completed, want %d", r.Statements, wireBenchClients*wireBenchIters))
+			}
+			if r.MaxQueueDepth == 0 {
+				failures = append(failures,
+					"wire/load: admission queue depth never exceeded 0 under 64-client overload — is the admission limit applied?")
+			}
+			if r.AdmissionWaits == 0 {
+				failures = append(failures,
+					"wire/load: admission waits counter did not move under overload")
+			}
+		}
+	}
+	return failures
+}

@@ -12,12 +12,22 @@
 //	\qexport PATH write the query store as a JSONL workload capture
 //	\debt         per-index delta rows, buffered deletes, modeled scan tax
 //	\compact [T]  compact table T's columnstores (all tables when omitted)
+//	\sessions     list open sessions (id, user, state, statements run)
 //
 // Flags:
 //
 //	-metrics addr   serve /metrics, /debug/vars, /debug/querystore on addr
 //	-slowlog path   append slow statements to path as JSON lines
 //	-slowms n       slow-query threshold in virtual milliseconds
+//	-connect addr   connect to a hybridd server over the wire protocol
+//	                instead of opening an in-process database
+//	-user name      wire-mode user name (default "hshell")
+//	-token secret   wire-mode auth token
+//
+// In -connect mode the shell is a thin wire client: SQL statements,
+// \sessions, and \explain run on the server; meta commands that poke
+// in-process state (\cool, \qstats, \debt, …) are unavailable — use
+// the server's admin HTTP port instead.
 //
 // The query store is always on: every statement is normalized,
 // fingerprinted with its plan shape, and folded into cumulative
@@ -35,13 +45,38 @@ import (
 	"time"
 
 	"hybriddb"
+	"hybriddb/client/hybridsql"
+	"hybriddb/internal/value"
 )
+
+// shell is the statement sink: an in-process database, or a wire
+// client when -connect is set (exactly one is non-nil).
+type shell struct {
+	db  *hybriddb.DB
+	cli *hybridsql.Client
+}
 
 func main() {
 	metricsAddr := flag.String("metrics", "", "serve /metrics on this address (empty = off)")
 	slowLog := flag.String("slowlog", "", "slow-query log file (JSON lines, empty = off)")
 	slowMS := flag.Int("slowms", 100, "slow-query threshold in virtual milliseconds")
+	connect := flag.String("connect", "", "hybridd server address (empty = in-process database)")
+	user := flag.String("user", "hshell", "wire-mode user name")
+	token := flag.String("token", "", "wire-mode auth token")
 	flag.Parse()
+
+	if *connect != "" {
+		cli, err := hybridsql.Connect(hybridsql.Config{Addr: *connect, User: *user, Token: *token})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		defer cli.Close()
+		fmt.Printf("connected to %s (session %d) — end statements with ';', \\q to quit\n",
+			*connect, cli.SessionID())
+		repl(&shell{cli: cli})
+		return
+	}
 
 	db := hybriddb.Open()
 	db.EnableQueryStore(hybriddb.QueryStoreOptions{})
@@ -62,6 +97,10 @@ func main() {
 		db.SetSlowQueryLog(f, time.Duration(*slowMS)*time.Millisecond)
 	}
 	fmt.Println("hybriddb shell — end statements with ';', \\q to quit")
+	repl(&shell{db: db})
+}
+
+func repl(sh *shell) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -77,7 +116,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(db, trimmed) {
+			if !meta(sh, trimmed) {
 				return
 			}
 			prompt()
@@ -88,7 +127,7 @@ func main() {
 		if strings.Contains(line, ";") {
 			for _, stmt := range strings.Split(buf.String(), ";") {
 				if s := strings.TrimSpace(stmt); s != "" {
-					run(db, s)
+					run(sh, s)
 				}
 			}
 			buf.Reset()
@@ -97,10 +136,39 @@ func main() {
 	}
 }
 
-func meta(db *hybriddb.DB, cmd string) bool {
+func meta(sh *shell, cmd string) bool {
+	db := sh.db
+	if db == nil {
+		// Wire mode: the shell is remote from the engine, so only the
+		// commands the protocol carries work here.
+		switch {
+		case cmd == "\\q" || cmd == "\\quit":
+			return false
+		case cmd == "\\sessions":
+			rows, err := sh.cli.Sessions()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("%6s %-12s %-8s %10s\n", "ID", "USER", "STATE", "STATEMENTS")
+			for _, s := range rows {
+				fmt.Printf("%6d %-12s %-8s %10d\n", s.ID, s.User, s.State, s.Statements)
+			}
+		case strings.HasPrefix(cmd, "\\explain "):
+			run(sh, "EXPLAIN "+strings.TrimPrefix(cmd, "\\explain "))
+		default:
+			fmt.Println(cmd, "needs a local database (use the server's admin port, or run without -connect)")
+		}
+		return true
+	}
 	switch {
 	case cmd == "\\q" || cmd == "\\quit":
 		return false
+	case cmd == "\\sessions":
+		fmt.Printf("%6s %-12s %-8s %10s\n", "ID", "USER", "STATE", "STATEMENTS")
+		for _, s := range db.Sessions() {
+			fmt.Printf("%6d %-12s %-8s %10d\n", s.ID, s.User, s.State, s.Statements)
+		}
 	case cmd == "\\cool":
 		db.CoolCache()
 		fmt.Println("buffer pool cooled")
@@ -199,28 +267,18 @@ func debt(db *hybriddb.DB) {
 	}
 }
 
-func run(db *hybriddb.DB, stmt string) {
-	res, err := db.Exec(stmt)
+func run(sh *shell, stmt string) {
+	if sh.db == nil {
+		runWire(sh, stmt)
+		return
+	}
+	res, err := sh.db.Exec(stmt)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	if len(res.Columns) > 0 {
-		fmt.Println(strings.Join(res.Columns, " | "))
-		limit := len(res.Rows)
-		if limit > 50 {
-			limit = 50
-		}
-		for _, row := range res.Rows[:limit] {
-			parts := make([]string, len(row))
-			for i, v := range row {
-				parts[i] = v.String()
-			}
-			fmt.Println(strings.Join(parts, " | "))
-		}
-		if limit < len(res.Rows) {
-			fmt.Printf("... (%d rows total)\n", len(res.Rows))
-		}
+		printRows(res.Columns, res.Rows)
 	} else if res.RowsAffected > 0 {
 		fmt.Printf("%d row(s) affected\n", res.RowsAffected)
 	}
@@ -228,4 +286,43 @@ func run(db *hybriddb.DB, stmt string) {
 		res.Metrics.ExecTime.Round(time.Microsecond),
 		res.Metrics.CPUTime.Round(time.Microsecond),
 		float64(res.Metrics.DataRead)/1e6, res.Metrics.DOP)
+}
+
+func runWire(sh *shell, stmt string) {
+	h, rows, err := sh.cli.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(h.Columns) > 0 {
+		names := make([]string, len(h.Columns))
+		for i, c := range h.Columns {
+			names[i] = c.Name
+		}
+		printRows(names, rows)
+	} else if h.RowsAffected > 0 {
+		fmt.Printf("%d row(s) affected\n", h.RowsAffected)
+	}
+	fmt.Printf("[exec %v, cpu %v, read %.2f MB, dop %d]\n",
+		(time.Duration(h.Metrics.ExecUS) * time.Microsecond).Round(time.Microsecond),
+		(time.Duration(h.Metrics.CPUUS) * time.Microsecond).Round(time.Microsecond),
+		float64(h.Metrics.DataRead)/1e6, h.Metrics.DOP)
+}
+
+func printRows(columns []string, rows []value.Row) {
+	fmt.Println(strings.Join(columns, " | "))
+	limit := len(rows)
+	if limit > 50 {
+		limit = 50
+	}
+	for _, row := range rows[:limit] {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if limit < len(rows) {
+		fmt.Printf("... (%d rows total)\n", len(rows))
+	}
 }

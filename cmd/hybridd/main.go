@@ -1,0 +1,105 @@
+// Command hybridd serves a hybriddb engine over the wire protocol
+// (internal/wire): a network front door with per-connection sessions,
+// optional shared-token auth, bounded statement admission, and an admin
+// HTTP port exposing /metrics and /debug/querystore. Clients connect
+// with the client/hybridsql database/sql driver, or hshell -connect.
+//
+// Usage:
+//
+//	hybridd -listen 127.0.0.1:4810 -admin 127.0.0.1:4811 -admission 8
+//
+// The server drains gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, idle connections drop, and in-flight statements finish
+// (up to -draintimeout) before their connections close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybriddb"
+	"hybriddb/internal/wire"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:4810", "wire protocol listen address")
+		admin        = flag.String("admin", "", "admin HTTP address for /metrics and /debug/querystore (empty = disabled)")
+		token        = flag.String("token", "", "shared auth token required from clients (empty = no auth)")
+		admission    = flag.Int("admission", 0, "max concurrently-executing statements (0 = unbounded)")
+		pool         = flag.Int64("pool", 0, "buffer pool bytes (0 = unbounded)")
+		rowGroup     = flag.Int("rowgroup", 0, "columnstore rowgroup size for SQL DDL (0 = default)")
+		parallelism  = flag.Int("parallelism", 0, "default worker budget (0 = automatic)")
+		cold         = flag.Bool("cold", false, "price data access against the HDD profile")
+		mover        = flag.Bool("mover", true, "run the background tuple mover")
+		querystore   = flag.Bool("querystore", true, "capture statements into the query store")
+		slowMS       = flag.Int("slowms", 0, "slow-query threshold in virtual ms (0 = disabled, logs to stderr)")
+		drainTimeout = flag.Duration("draintimeout", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	var opts []hybriddb.Option
+	if *cold {
+		opts = append(opts, hybriddb.WithColdStorage())
+	}
+	if *pool > 0 {
+		opts = append(opts, hybriddb.WithBufferPool(*pool))
+	}
+	if *rowGroup > 0 {
+		opts = append(opts, hybriddb.WithRowGroupSize(*rowGroup))
+	}
+	if *parallelism > 0 {
+		opts = append(opts, hybriddb.WithParallelism(*parallelism))
+	}
+	db := hybriddb.Open(opts...)
+	if *querystore {
+		db.EnableQueryStore(hybriddb.QueryStoreOptions{})
+	}
+	if *slowMS > 0 {
+		db.SetSlowQueryLog(os.Stderr, time.Duration(*slowMS)*time.Millisecond)
+	}
+	if *mover {
+		db.EnableTupleMover(hybriddb.MoverOptions{})
+		defer db.DisableTupleMover()
+	}
+
+	if *admin != "" {
+		if _, err := hybriddb.ServeMetrics(*admin); err != nil {
+			log.Fatalf("hybridd: admin server: %v", err)
+		}
+		log.Printf("hybridd: admin HTTP on %s (/metrics, /debug/querystore)", *admin)
+	}
+
+	srv := wire.NewServer(db.Internal(), wire.Options{
+		Token:          *token,
+		AdmissionLimit: *admission,
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*listen) }()
+	log.Printf("hybridd: serving wire protocol on %s", *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("hybridd: serve: %v", err)
+		}
+	case sig := <-sigc:
+		log.Printf("hybridd: %v — draining (timeout %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("hybridd: forced shutdown: %v", err)
+			os.Exit(1)
+		}
+		fmt.Println("hybridd: drained cleanly")
+	}
+}

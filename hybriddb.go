@@ -38,6 +38,7 @@ import (
 	"hybriddb/internal/metrics"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/querystore"
+	"hybriddb/internal/session"
 	"hybriddb/internal/value"
 	"hybriddb/internal/vclock"
 )
@@ -302,6 +303,19 @@ func (db *DB) TableRows(name string) int64 {
 // Internal exposes the underlying engine for advanced use (bulk loads,
 // direct table access, custom cost models).
 func (db *DB) Internal() *engine.Database { return db.inner }
+
+// SessionInfo is one open session's identity and activity snapshot.
+type SessionInfo = session.Info
+
+// Sessions snapshots every open session (the engine's implicit local
+// session plus any wire connections), ordered by id.
+func (db *DB) Sessions() []SessionInfo { return db.inner.Sessions() }
+
+// SetAdmissionLimit bounds how many statements may execute
+// concurrently; excess statements queue FIFO at the admission
+// controller and their wait is charged to the query store's lockwait
+// stage. 0 (the default) leaves admission unbounded.
+func (db *DB) SetAdmissionLimit(n int) { db.inner.SetAdmissionLimit(n) }
 
 // PlanUsesColumnstore reports whether a SELECT's plan reads any
 // columnstore index — the plan-inspection hook behind the paper's

@@ -3,11 +3,20 @@
 // The engine has a small, fixed set of mutexes with a required
 // acquisition order (outermost first):
 //
-//	rank 10  engine.Database.mu      (statement boundary lock)
+//	rank 10  session.Manager.mu      (statement boundary lock)
+//	rank 15  session.Manager.smu     (session registry / admission lock)
 //	rank 20  engine.Database.slowMu  (slow-query log)
 //	rank 30  table.Table.statsMu     (per-table statistics)
 //	rank 40  storage.Store.mu        (buffer-pool accounting)
 //	rank 90  metrics.Registry.mu     (metric registration; leaf)
+//
+// The statement lock lives in internal/session since the session-core
+// refactor and is unexported there; engine call sites acquire it
+// through the Manager's Lock/RLock/Unlock/RUnlock wrapper methods
+// (db.sm.Lock()). The analyzer matches those wrappers by receiver type
+// (see lockAliases) so the rank-10 transitions stay visible at every
+// call site, exactly as they were when the field lived on
+// engine.Database.
 //
 // Within one function body the analyzer flags (a) acquiring a
 // coarser-or-equal-rank lock while a finer one is held (lock-order
@@ -58,11 +67,27 @@ type rankedLock struct {
 }
 
 var hierarchy = []rankedLock{
-	{"engine", "Database", "mu", 10, "engine statement lock", true},
+	{"session", "Manager", "mu", 10, "engine statement lock", true},
+	{"session", "Manager", "smu", 15, "session manager lock", true},
 	{"engine", "Database", "slowMu", 20, "slow-query log lock", false},
 	{"table", "Table", "statsMu", 30, "table statistics lock", false},
 	{"storage", "Store", "mu", 40, "buffer-pool lock", false},
 	{"metrics", "Registry", "mu", 90, "metrics registry lock", true},
+}
+
+// lockAlias maps a type's Lock/RLock/Unlock/RUnlock wrapper methods
+// onto the ranked mutex field they forward to, for locks that are
+// unexported in their owning package but acquired from outside it.
+type lockAlias struct {
+	pkgElem string // last element of the receiver's package path
+	typ     string // receiver type whose wrapper methods forward
+	field   string // hierarchy field the wrappers target
+}
+
+var lockAliases = []lockAlias{
+	// session.Manager.Lock()/RLock()/... forward to Manager.mu, the
+	// statement lock; engine call sites read db.sm.Lock().
+	{"session", "Manager", "mu"},
 }
 
 // New returns a fresh lockorder analyzer.
@@ -401,9 +426,20 @@ func (w *walker) lockOf(c *ast.CallExpr, names ...string) *rankedLock {
 	if !match {
 		return nil
 	}
-	// Receiver must be a sync.Mutex / sync.RWMutex method call.
 	fn, _ := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg().Path() != "sync" {
+		// Not a sync.Mutex method: check the wrapper-method aliases
+		// (e.g. session.Manager.Lock forwarding to Manager.mu).
+		elem := analysis.PkgElem(fn.Pkg().Path())
+		recv := recvTypeName(fn)
+		for _, al := range lockAliases {
+			if al.pkgElem == elem && al.typ == recv {
+				return findLock(al.pkgElem, al.typ, al.field)
+			}
+		}
 		return nil
 	}
 	// The mutex expression itself must be a field selector owner.field.
@@ -415,10 +451,14 @@ func (w *walker) lockOf(c *ast.CallExpr, names ...string) *rankedLock {
 	if ownerType == nil || ownerType.Obj().Pkg() == nil {
 		return nil
 	}
-	elem := analysis.PkgElem(ownerType.Obj().Pkg().Path())
+	return findLock(analysis.PkgElem(ownerType.Obj().Pkg().Path()), ownerType.Obj().Name(), fsel.Sel.Name)
+}
+
+// findLock looks up a hierarchy entry by identity, nil when unranked.
+func findLock(pkgElem, typ, field string) *rankedLock {
 	for i := range hierarchy {
 		lk := &hierarchy[i]
-		if lk.pkgElem == elem && lk.typ == ownerType.Obj().Name() && lk.field == fsel.Sel.Name {
+		if lk.pkgElem == pkgElem && lk.typ == typ && lk.field == field {
 			return lk
 		}
 	}

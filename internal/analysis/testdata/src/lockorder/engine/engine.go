@@ -1,28 +1,32 @@
 // Package engine mirrors the shape of hybriddb/internal/engine for the
-// lockorder fixtures: a Database with the statement lock (mu, rank 10)
-// and the slow-query log lock (slowMu, rank 20). The lockorder
-// analyzer matches locks by (package element, type, field), so these
-// fixtures exercise exactly the production rank table.
+// lockorder fixtures: since the session-core refactor the statement
+// lock lives on session.Manager and the engine acquires it through the
+// Manager's Lock/RLock wrappers (db.sm.Lock()), so every case here
+// exercises the analyzer's wrapper-method alias matching across
+// packages. The slow-query log lock (slowMu, rank 20) is still an
+// engine-owned field.
 package engine
 
 import (
 	"sync"
 	"time"
+
+	"hybriddb/lintfixtures/src/lockorder/session"
 )
 
 type Database struct {
-	mu     sync.RWMutex
+	sm     *session.Manager
 	slowMu sync.Mutex
 	n      int
 }
 
 // correctOrder follows the hierarchy: statement lock before log lock.
 func (db *Database) correctOrder() {
-	db.mu.Lock()
+	db.sm.Lock()
 	db.slowMu.Lock()
 	db.n++
 	db.slowMu.Unlock()
-	db.mu.Unlock()
+	db.sm.Unlock()
 }
 
 // dispatchPattern is the engine's real shape: shared or exclusive
@@ -30,11 +34,11 @@ func (db *Database) correctOrder() {
 // must not read as an upgrade.
 func (db *Database) dispatchPattern(readOnly bool) {
 	if readOnly {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
+		db.sm.RLock()
+		defer db.sm.RUnlock()
 	} else {
-		db.mu.Lock()
-		defer db.mu.Unlock()
+		db.sm.Lock()
+		defer db.sm.Unlock()
 	}
 	db.n++
 }
@@ -42,39 +46,40 @@ func (db *Database) dispatchPattern(readOnly bool) {
 // inverted acquires the statement lock while holding the log lock.
 func (db *Database) inverted() {
 	db.slowMu.Lock()
-	db.mu.Lock() // want `lock order violation: acquiring engine statement lock \(rank 10\) while holding slow-query log lock \(rank 20\)`
+	db.sm.Lock() // want `lock order violation: acquiring engine statement lock \(rank 10\) while holding slow-query log lock \(rank 20\)`
 	db.n++
-	db.mu.Unlock()
+	db.sm.Unlock()
 	db.slowMu.Unlock()
 }
 
-// upgrade re-acquires a held RWMutex, which self-deadlocks.
+// upgrade re-acquires the held statement lock through the wrappers,
+// which self-deadlocks just like a direct RWMutex upgrade.
 func (db *Database) upgrade() {
-	db.mu.RLock()
-	db.mu.Lock() // want `acquiring engine statement lock .* while already holding it`
+	db.sm.RLock()
+	db.sm.Lock() // want `acquiring engine statement lock .* while already holding it`
 	db.n++
-	db.mu.Unlock()
-	db.mu.RUnlock()
+	db.sm.Unlock()
+	db.sm.RUnlock()
 }
 
 // sendUnderLock parks every other statement behind a channel send.
 func (db *Database) sendUnderLock(ch chan int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	ch <- db.n // want `blocking operation \(channel send\) while holding engine statement lock`
 }
 
 // recvUnderLock blocks on a receive with the statement lock held.
 func (db *Database) recvUnderLock(ch chan int) {
-	db.mu.Lock()
+	db.sm.Lock()
 	db.n = <-ch // want `blocking operation \(channel receive\) while holding engine statement lock`
-	db.mu.Unlock()
+	db.sm.Unlock()
 }
 
 // selectUnderLock parks in a select with the statement lock held.
 func (db *Database) selectUnderLock(ch chan int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	select { // want `blocking operation \(select\) while holding engine statement lock`
 	case v := <-ch:
 		db.n = v
@@ -93,17 +98,17 @@ func (db *Database) logLockMayBlock(ch chan int) {
 
 // sendAfterUnlock releases before blocking: clean.
 func (db *Database) sendAfterUnlock(ch chan int) {
-	db.mu.Lock()
+	db.sm.Lock()
 	db.n++
-	db.mu.Unlock()
+	db.sm.Unlock()
 	ch <- db.n
 }
 
 // goroutineResetsHeld: a spawned goroutine does not inherit the
 // spawner's locks.
 func (db *Database) goroutineResetsHeld(ch chan int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	go func() {
 		ch <- 1
 	}()
@@ -112,8 +117,8 @@ func (db *Database) goroutineResetsHeld(ch chan int) {
 // suppressed documents a deliberate exception; the ignore comment
 // keeps the diagnostic out of the gate while recording why.
 func (db *Database) suppressed(ch chan int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	//lint:ignore lockorder fixture: exercising the suppression syntax end to end
 	ch <- db.n
 }
@@ -127,14 +132,14 @@ func (db *Database) helperSleep() {
 // callsBlockingHelper blocks one level down; the interprocedural rule
 // lands the diagnostic at the call site, where the lock is visible.
 func (db *Database) callsBlockingHelper() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	db.helperSleep() // want `call to helperSleep blocks \(time.Sleep\) while holding engine statement lock`
 }
 
 // helperUnlocksFirst releases the statement lock before parking.
 func (db *Database) helperUnlocksFirst() {
-	db.mu.Unlock()
+	db.sm.Unlock()
 	time.Sleep(time.Millisecond)
 }
 
@@ -142,7 +147,7 @@ func (db *Database) helperUnlocksFirst() {
 // before blocking; the callee scan runs with the caller's held set, so
 // this is clean.
 func (db *Database) callsUnlockingHelper() {
-	db.mu.Lock()
+	db.sm.Lock()
 	db.helperUnlocksFirst()
 }
 
@@ -154,16 +159,16 @@ func (db *Database) helperIndirect() {
 }
 
 func (db *Database) callsIndirect() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	db.helperIndirect()
 }
 
 // justifiedHelperBlock records why a one-level block is acceptable:
 // suppressed.
 func (db *Database) justifiedHelperBlock() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	//lint:ignore lockorder fixture: startup-only path, lock uncontended
 	db.helperSleep()
 }
@@ -173,40 +178,41 @@ func (db *Database) justifiedHelperBlock() {
 // no lock held (the slow part — here a channel hand-off stands in for
 // it), then a short exclusive install. Clean by construction.
 func (db *Database) moverInstallPattern(encoded chan int) {
-	db.mu.RLock()
+	db.sm.RLock()
 	snap := db.n
-	db.mu.RUnlock()
+	db.sm.RUnlock()
 	encoded <- snap // encode off-lock: blocking here is fine
-	db.mu.Lock()
+	db.sm.Lock()
 	db.n = snap
-	db.mu.Unlock()
+	db.sm.Unlock()
 }
 
 // moverEncodeUnderLock holds the exclusive statement lock across the
 // encode hand-off — the stall (and, against the mover's own install
 // path, the deadlock) the critical-section split exists to avoid.
 func (db *Database) moverEncodeUnderLock(encoded chan int) {
-	db.mu.Lock()
+	db.sm.Lock()
 	encoded <- db.n // want `blocking operation \(channel send\) while holding engine statement lock`
-	db.mu.Unlock()
+	db.sm.Unlock()
 }
 
 // moverJoinOutsideLock is DisableTupleMover's shape: clear the
 // registration under the statement lock, then join the background
 // loop on its done channel only after release (the loop's next step
-// needs db.mu to install, so joining under the lock would deadlock).
+// needs the statement lock to install, so joining under the lock would
+// deadlock).
 func (db *Database) moverJoinOutsideLock(stop, done chan struct{}) {
-	db.mu.Lock()
+	db.sm.Lock()
 	db.n = 0
-	db.mu.Unlock()
+	db.sm.Unlock()
 	close(stop)
 	<-done
 }
 
 // moverJoinUnderLock joins the loop with the statement lock held.
 func (db *Database) moverJoinUnderLock(stop, done chan struct{}) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	close(stop)
 	<-done // want `blocking operation \(channel receive\) while holding engine statement lock`
 }

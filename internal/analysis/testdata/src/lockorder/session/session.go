@@ -1,0 +1,109 @@
+// Package session mirrors hybriddb/internal/session.Manager for the
+// lockorder fixtures: the statement-boundary lock (mu, rank 10) behind
+// its exported Lock/RLock/Unlock/RUnlock wrappers, and the session
+// registry / admission lock (smu, rank 15). Both are no-block locks —
+// mu sits on every statement's critical path, and smu serializes
+// session open/close and admission ticket hand-off, so parking under
+// either stalls the whole engine.
+package session
+
+import "sync"
+
+type Manager struct {
+	mu    sync.RWMutex
+	smu   sync.Mutex
+	inUse int
+	limit int
+	queue []chan struct{}
+	n     int
+}
+
+// The wrapper methods the engine acquires the statement lock through;
+// the analyzer's alias table maps these back onto Manager.mu.
+func (m *Manager) Lock()    { m.mu.Lock() }
+func (m *Manager) Unlock()  { m.mu.Unlock() }
+func (m *Manager) RLock()   { m.mu.RLock() }
+func (m *Manager) RUnlock() { m.mu.RUnlock() }
+
+// registryBelowStatement follows the hierarchy: statement lock first,
+// then the session registry lock.
+func (m *Manager) registryBelowStatement() {
+	m.mu.Lock()
+	m.smu.Lock()
+	m.n++
+	m.smu.Unlock()
+	m.mu.Unlock()
+}
+
+// inverted acquires the statement lock while holding the registry
+// lock: admission (which takes smu) runs before the statement lock by
+// design, never under it the other way around.
+func (m *Manager) inverted() {
+	m.smu.Lock()
+	m.mu.Lock() // want `lock order violation: acquiring engine statement lock \(rank 10\) while holding session manager lock \(rank 15\)`
+	m.n++
+	m.mu.Unlock()
+	m.smu.Unlock()
+}
+
+// upgrade re-acquires a held RWMutex, which self-deadlocks.
+func (m *Manager) upgrade() {
+	m.mu.RLock()
+	m.mu.Lock() // want `acquiring engine statement lock .* while already holding it`
+	m.n++
+	m.mu.Unlock()
+	m.mu.RUnlock()
+}
+
+// admitThenLock is Admit's clean shape: enqueue a ticket under smu,
+// release, park on the ticket with NOTHING held, then take the
+// statement lock. The park outside both locks is the whole point of
+// the FIFO ticket design.
+func (m *Manager) admitThenLock() {
+	m.smu.Lock()
+	ticket := make(chan struct{})
+	m.queue = append(m.queue, ticket)
+	m.smu.Unlock()
+	<-ticket
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+}
+
+// parkUnderAdmission waits for an admission ticket while still holding
+// smu — it deadlocks against release(), which needs smu to pop the
+// queue and close the ticket.
+func (m *Manager) parkUnderAdmission(ticket chan struct{}) {
+	m.smu.Lock()
+	<-ticket // want `blocking operation \(channel receive\) while holding session manager lock`
+	m.smu.Unlock()
+}
+
+// recvUnderStatement: the statement lock kept its no-block rule when
+// it moved here from engine.Database.mu.
+func (m *Manager) recvUnderStatement(ch chan int) {
+	m.mu.Lock()
+	m.n = <-ch // want `blocking operation \(channel receive\) while holding engine statement lock`
+	m.mu.Unlock()
+}
+
+// sendUnderAdmission parks session open/close behind a channel send.
+func (m *Manager) sendUnderAdmission(ch chan int) {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	ch <- m.inUse // want `blocking operation \(channel send\) while holding session manager lock`
+}
+
+// releasePattern is release()'s clean shape: pop and close under smu
+// (close never blocks), or free the slot.
+func (m *Manager) releasePattern() {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	if len(m.queue) > 0 {
+		ticket := m.queue[0]
+		m.queue = m.queue[1:]
+		close(ticket)
+		return
+	}
+	m.inUse--
+}

@@ -21,6 +21,7 @@ import (
 	"hybriddb/internal/optimizer"
 	"hybriddb/internal/plan"
 	"hybriddb/internal/querystore"
+	"hybriddb/internal/session"
 	"hybriddb/internal/sql"
 	"hybriddb/internal/storage"
 	"hybriddb/internal/table"
@@ -53,11 +54,15 @@ type Database struct {
 	// serial, N caps the pool at N workers.
 	DefaultParallelism int
 
-	// mu serializes catalog/data mutation against reads: SELECT and
-	// EXPLAIN take the shared side, everything else the exclusive side.
+	// sm owns the statement-boundary lock (SELECT and EXPLAIN take the
+	// shared side, everything else the exclusive side), the session
+	// registry, and the admission controller (see internal/session).
 	// Catalog accessors (Table, TableSchema, ResolveTable) stay
 	// lock-free — they are only called under a statement's lock.
-	mu sync.RWMutex
+	sm *session.Manager
+	// local is the implicit session the library path (Exec/ExecStmt)
+	// runs on; wire connections open their own via OpenSession.
+	local *session.Session
 
 	slowMu        sync.Mutex
 	slowW         io.Writer
@@ -73,7 +78,8 @@ type Database struct {
 	// columnstore: nil keeps the legacy synchronous inline compaction,
 	// otherwise inserts crossing the rowgroup boundary invoke it instead
 	// of compressing inline. suppressCompaction pins a no-op policy for
-	// the uncompacted ablation. All three are guarded by mu.
+	// the uncompacted ablation. All three are guarded by the statement
+	// lock (sm).
 	mover              *TupleMover
 	highWater          func()
 	suppressCompaction bool
@@ -82,12 +88,37 @@ type Database struct {
 // New creates a database with the given cost model and buffer pool
 // size in bytes (0 = unbounded pool).
 func New(model *vclock.Model, poolBytes int64) *Database {
+	sm := session.NewManager()
 	return &Database{
 		store:  storage.NewStore(poolBytes),
 		model:  model,
 		tables: make(map[string]*table.Table),
+		sm:     sm,
+		local:  sm.Open("local"),
 	}
 }
+
+// SessionManager exposes the session/admission layer (the wire server
+// binds connections to it).
+func (db *Database) SessionManager() *session.Manager { return db.sm }
+
+// OpenSession registers a new session for user. The caller owns its
+// lifetime and must CloseSession it.
+func (db *Database) OpenSession(user string) *session.Session { return db.sm.Open(user) }
+
+// CloseSession deregisters a session opened with OpenSession.
+func (db *Database) CloseSession(s *session.Session) { db.sm.Close(s) }
+
+// Sessions snapshots every open session (the implicit local session
+// included), ordered by id.
+func (db *Database) Sessions() []session.Info { return db.sm.Sessions() }
+
+// SetAdmissionLimit bounds how many statements may execute (or hold
+// the statement lock) concurrently; excess statements queue FIFO and
+// their wait is charged to the query store's lockwait stage. 0 (the
+// default) leaves admission unbounded, preserving the pure-library
+// behavior.
+func (db *Database) SetAdmissionLimit(n int) { db.sm.SetLimit(n) }
 
 // Store returns the underlying store (hot/cold control).
 func (db *Database) Store() *storage.Store { return db.store }
@@ -145,8 +176,8 @@ func (db *Database) QueryStats() []querystore.QueryStats {
 // CreateTable registers a new table. clusterKeys non-nil builds a
 // clustered B+ tree primary on those ordinals; nil leaves a heap.
 func (db *Database) CreateTable(name string, schema *value.Schema, clusterKeys []int) (*table.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	return db.createTable(name, schema, clusterKeys)
 }
 
@@ -202,30 +233,10 @@ type Result struct {
 	Trace *metrics.TraceNode
 }
 
-// ExecOptions tune one statement execution.
-type ExecOptions struct {
-	// MemGrant bounds the query's working memory (0 = unlimited).
-	MemGrant int64
-	// NoColumnstore removes columnstore access paths (B+-tree-only
-	// baseline costing/execution).
-	NoColumnstore bool
-	// NoElimination, NoBatchMode, and NoKernelPushdown are ablation
-	// switches; NoKernelPushdown keeps predicate evaluation in the
-	// executor instead of the columnstore's encoding-aware kernels.
-	NoElimination    bool
-	NoBatchMode      bool
-	NoKernelPushdown bool
-	// Parallelism is the real worker-goroutine budget for morsel-driven
-	// parallel operators: 0 defers to Database.DefaultParallelism (and
-	// its automatic choice), 1 forces serial execution, N allows up to N
-	// workers. It does not affect the plan's (virtual) DOP or any
-	// reported Metrics — only wall-clock time.
-	Parallelism int
-	// RowMode executes SELECTs on the legacy row-at-a-time spine
-	// instead of the default batch spine. Results and Metrics are
-	// bit-identical either way; only real CPU time differs.
-	RowMode bool
-}
+// ExecOptions tune one statement execution. The definition lives in
+// internal/session (a session owns its per-connection defaults); the
+// alias keeps every existing engine call site source-compatible.
+type ExecOptions = session.ExecOptions
 
 // workers resolves the real worker budget for one statement. Automatic
 // selection uses every core, but only when the buffer pool is
@@ -301,7 +312,8 @@ func (db *Database) optOptions(o ExecOptions) optimizer.Options {
 	}
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement on the implicit local
+// session.
 func (db *Database) Exec(query string, opts ...ExecOptions) (*Result, error) {
 	var o ExecOptions
 	if len(opts) > 0 {
@@ -311,12 +323,37 @@ func (db *Database) Exec(query string, opts ...ExecOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.run(st, o, query)
+	return db.run(db.local, st, o, query)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement on the implicit local session.
 func (db *Database) ExecStmt(st sql.Statement, o ExecOptions) (*Result, error) {
-	return db.run(st, o, "")
+	return db.run(db.local, st, o, "")
+}
+
+// ExecSession parses and executes one SQL statement on sess (the wire
+// server's per-connection entry point). A nil sess falls back to the
+// implicit local session.
+func (db *Database) ExecSession(sess *session.Session, query string, o ExecOptions) (*Result, error) {
+	if sess == nil {
+		sess = db.local
+	}
+	st, err := sql.ParseOne(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.run(sess, st, o, query)
+}
+
+// ExecPrepared executes a statement previously prepared on sess. The
+// prepared text is passed through as the statement text so prepared
+// executions normalize, fingerprint, and fold into the same
+// query-store entries as direct ones.
+func (db *Database) ExecPrepared(sess *session.Session, p *session.Prepared, o ExecOptions) (*Result, error) {
+	if sess == nil {
+		sess = db.local
+	}
+	return db.run(sess, p.Stmt, o, p.SQL)
 }
 
 // readOnly reports whether a statement only reads: such statements run
@@ -330,15 +367,23 @@ func readOnly(st sql.Statement) bool {
 }
 
 // run executes a dispatched statement under the engine lock and feeds
-// the engine-level metrics and slow-query log.
-func (db *Database) run(st sql.Statement, o ExecOptions, text string) (*Result, error) {
+// the engine-level metrics and slow-query log. The statement first
+// passes the admission controller (a no-op unless SetAdmissionLimit
+// bounded concurrency); any queue wait is charged to the query store's
+// lockwait stage. The statement lock is acquired only after admission,
+// so a parked statement never holds it.
+func (db *Database) run(sess *session.Session, st sql.Statement, o ExecOptions, text string) (*Result, error) {
+	wait, release := db.sm.Admit(sess)
+	defer release()
 	if readOnly(st) {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
+		db.sm.RLock()
+		defer db.sm.RUnlock()
 	} else {
-		db.mu.Lock()
-		defer db.mu.Unlock()
+		db.sm.Lock()
+		defer db.sm.Unlock()
 	}
+	sess.BeginStatement()
+	defer sess.EndStatement()
 	mStatements.Inc()
 	res, err := db.dispatch(st, o)
 	if err != nil {
@@ -346,12 +391,13 @@ func (db *Database) run(st sql.Statement, o ExecOptions, text string) (*Result, 
 		if qs := db.qs.Load(); qs != nil {
 			norm := normalizeStmt(st, text)
 			qs.Record(querystore.Execution{
-				SQL:    displayText(st, text),
-				Norm:   norm,
-				Kind:   stmtKind(st),
-				Shape:  "Error", // bind/exec failed: no plan to shape
-				Err:    true,
-				Stages: querystore.Stages{Parse: parseCost(text)},
+				SQL:       displayText(st, text),
+				Norm:      norm,
+				Kind:      stmtKind(st),
+				Shape:     "Error", // bind/exec failed: no plan to shape
+				Err:       true,
+				SessionID: sess.ID(),
+				Stages:    querystore.Stages{Parse: parseCost(text), LockWait: wait},
 			})
 		}
 		return nil, err
@@ -361,7 +407,7 @@ func (db *Database) run(st sql.Statement, o ExecOptions, text string) (*Result, 
 		// delta high-water callbacks at the active policy.
 		db.applyHighWaterLocked()
 	}
-	db.observe(st, res, text)
+	db.observe(sess, st, res, text, wait)
 	return res, nil
 }
 
@@ -484,9 +530,11 @@ func stmtShape(st sql.Statement, pl *plan.Root) string {
 }
 
 // stmtStages assembles the per-stage virtual time breakdown. LockWait
-// stays zero until admission control lands (ROADMAP item 1).
-func stmtStages(text string, pl *plan.Root, m vclock.Metrics) querystore.Stages {
-	st := querystore.Stages{Parse: parseCost(text), Exec: m.ExecTime}
+// is the admission queue wait — identically zero unless the admission
+// controller is bounded (SetAdmissionLimit), so the library path's
+// breakdown is unchanged from the pre-session engine.
+func stmtStages(text string, pl *plan.Root, m vclock.Metrics, lockWait time.Duration) querystore.Stages {
+	st := querystore.Stages{Parse: parseCost(text), LockWait: lockWait, Exec: m.ExecTime}
 	if pl != nil {
 		nodes := 0
 		plan.Walk(pl.Input, func(plan.Node) { nodes++ })
@@ -497,7 +545,7 @@ func stmtStages(text string, pl *plan.Root, m vclock.Metrics) querystore.Stages 
 
 // observe feeds one successful statement's measurements into the
 // engine counters, the query store, and the slow-query log.
-func (db *Database) observe(st sql.Statement, res *Result, text string) {
+func (db *Database) observe(sess *session.Session, st sql.Statement, res *Result, text string, lockWait time.Duration) {
 	m := res.Metrics
 	mDataRead.Add(m.DataRead)
 	mDataWritten.Add(m.DataWrite)
@@ -522,7 +570,8 @@ func (db *Database) observe(st sql.Statement, res *Result, text string) {
 			Shape:        shape,
 			Metrics:      m,
 			RowsAffected: res.RowsAffected,
-			Stages:       stmtStages(text, res.Plan, m),
+			SessionID:    sess.ID(),
+			Stages:       stmtStages(text, res.Plan, m, lockWait),
 			Trace:        res.Trace,
 		})
 	}
@@ -543,6 +592,7 @@ func (db *Database) observe(st sql.Statement, res *Result, text string) {
 	line, err := json.Marshal(map[string]any{
 		"stmt":        displayText(st, text),
 		"fingerprint": querystore.FormatFingerprint(fp),
+		"session_id":  sess.ID(),
 		"exec_us":     m.ExecTime.Microseconds(),
 		"cpu_us":      m.CPUTime.Microseconds(),
 		"read_bytes":  m.DataRead,
@@ -608,8 +658,8 @@ func (db *Database) execExplain(s *sql.ExplainStmt, o ExecOptions) (*Result, err
 // Plan optimizes a SELECT without executing it (the what-if costing
 // path DTA uses).
 func (db *Database) Plan(query string, o ExecOptions) (*plan.Root, *sql.BoundSelect, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.sm.RLock()
+	defer db.sm.RUnlock()
 	st, err := sql.ParseOne(query)
 	if err != nil {
 		return nil, nil, err
@@ -834,8 +884,8 @@ func (db *Database) execDropIndex(s *sql.DropIndexStmt) (*Result, error) {
 
 // TupleMoveAll runs columnstore maintenance on every table.
 func (db *Database) TupleMoveAll() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	for _, t := range db.tables {
 		t.TupleMove(nil)
 	}

@@ -124,10 +124,10 @@ type TupleMover struct {
 // Enabling twice returns the running mover.
 func (db *Database) EnableTupleMover(opts MoverOptions) *TupleMover {
 	opts.fill()
-	db.mu.Lock()
+	db.sm.Lock()
 	if db.mover != nil {
 		m := db.mover
-		db.mu.Unlock()
+		db.sm.Unlock()
 		return m
 	}
 	m := &TupleMover{
@@ -141,7 +141,7 @@ func (db *Database) EnableTupleMover(opts MoverOptions) *TupleMover {
 	db.mover = m
 	db.highWater = m.signal
 	db.applyHighWaterLocked()
-	db.mu.Unlock()
+	db.sm.Unlock()
 	// The loop is a service goroutine, not a fork/join worker: it is
 	// joined by DisableTupleMover/Close via m.stop + m.done, which may
 	// happen many statements later.
@@ -154,19 +154,19 @@ func (db *Database) EnableTupleMover(opts MoverOptions) *TupleMover {
 // flight), detaches the high-water callbacks, and restores synchronous
 // inline compaction. No-op when no mover is running.
 func (db *Database) DisableTupleMover() {
-	db.mu.Lock()
+	db.sm.Lock()
 	m := db.mover
 	db.mover = nil
 	if db.highWater != nil && !db.suppressCompaction {
 		db.highWater = nil
 		db.applyHighWaterLocked()
 	}
-	db.mu.Unlock()
+	db.sm.Unlock()
 	if m == nil {
 		return
 	}
 	// Join outside the statement lock: the loop may be blocked on
-	// db.mu.Lock for an install, which must be allowed to finish.
+	// db.sm.Lock for an install, which must be allowed to finish.
 	close(m.stop)
 	<-m.done
 }
@@ -177,8 +177,8 @@ func (db *Database) DisableTupleMover() {
 // benchmarks can measure the uncompacted decode-then-filter cliff. Off
 // restores the default (inline compaction, or the mover if running).
 func (db *Database) SuppressCompaction(on bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	db.suppressCompaction = on
 	switch {
 	case on:
@@ -200,16 +200,16 @@ func (db *Database) Close() error {
 
 // Mover returns the running background tuple mover, or nil.
 func (db *Database) Mover() *TupleMover {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.sm.RLock()
+	defer db.sm.RUnlock()
 	return db.mover
 }
 
 // CompactionDebts reports every columnstore's current compaction debt,
 // ordered by table then index name.
 func (db *Database) CompactionDebts() []IndexDebt {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.sm.RLock()
+	defer db.sm.RUnlock()
 	return db.compactionDebtsLocked()
 }
 
@@ -233,8 +233,8 @@ func (db *Database) compactionDebtsLocked() []IndexDebt {
 // compression and delete-buffer folding), or every table when name is
 // empty. The work is uncharged, like the legacy inline tuple move.
 func (db *Database) CompactTable(name string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.sm.Lock()
+	defer db.sm.Unlock()
 	if name == "" {
 		for _, t := range db.tables {
 			t.TupleMove(nil)
@@ -250,7 +250,8 @@ func (db *Database) CompactTable(name string) bool {
 }
 
 // sortedTableNames returns the catalog's table names in sorted order so
-// mover sweeps visit indexes in a stable order. Callers hold db.mu.
+// mover sweeps visit indexes in a stable order. Callers hold the
+// statement lock.
 func (db *Database) sortedTableNames() []string {
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
@@ -262,7 +263,7 @@ func (db *Database) sortedTableNames() []string {
 
 // applyHighWaterLocked points every materialized columnstore's delta
 // high-water callback at the current policy (nil = inline compaction).
-// Caller holds db.mu exclusively. Indexes created outside the SQL path
+// Caller holds the statement lock exclusively. Indexes created outside the SQL path
 // (e.g. advisor recommendations applied directly to tables) are hooked
 // on the next exclusive statement or mover install.
 func (db *Database) applyHighWaterLocked() {
@@ -344,9 +345,9 @@ func (m *TupleMover) step(drain bool) bool {
 	defer m.stepMu.Unlock()
 	db := m.db
 
-	db.mu.RLock()
+	db.sm.RLock()
 	w := m.pickLocked(drain)
-	db.mu.RUnlock()
+	db.sm.RUnlock()
 	if w == nil {
 		return false
 	}
@@ -363,7 +364,7 @@ func (m *TupleMover) step(drain bool) bool {
 	}
 
 	// Install under a short exclusive critical section.
-	db.mu.Lock()
+	db.sm.Lock()
 	var ok bool
 	switch {
 	case w.snap != nil:
@@ -378,7 +379,7 @@ func (m *TupleMover) step(drain bool) bool {
 		// last exclusive statement.
 		db.applyHighWaterLocked()
 	}
-	db.mu.Unlock()
+	db.sm.Unlock()
 	if !ok && encoded != nil {
 		w.x.DiscardEncoded(encoded)
 	}

@@ -80,11 +80,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stages is the per-statement stage breakdown. All durations are
-// virtual. LockWait is identically zero today: statements serialize at
-// the engine's statement-boundary lock outside the virtual timeline;
-// the stage exists so the taxonomy is stable when admission control
-// lands (ROADMAP item 1).
+// Stages is the per-statement stage breakdown. Parse, Optimize, and
+// Exec are virtual durations; LockWait is the real wall-clock time the
+// statement queued at the admission controller — identically zero
+// unless the engine's concurrency limit is bounded
+// (Database.SetAdmissionLimit), so the library path's breakdown stays
+// deterministic.
 type Stages struct {
 	Parse    time.Duration
 	Optimize time.Duration
@@ -109,7 +110,10 @@ type Execution struct {
 
 	Metrics      vclock.Metrics
 	RowsAffected int64
-	Stages       Stages
+	// SessionID identifies the session the statement ran on (1 is the
+	// engine's implicit local session).
+	SessionID int64
+	Stages    Stages
 
 	// Trace is the per-operator execution trace, if the engine captured
 	// one. The store folds per-operator stats from it and samples whole
@@ -169,6 +173,7 @@ type RecentExec struct {
 	SQL         string `json:"sql"`
 	Kind        string `json:"kind"`
 	Err         bool   `json:"err,omitempty"`
+	SessionID   int64  `json:"session_id,omitempty"`
 	ExecUS      int64  `json:"exec_us"`
 	Rows        int64  `json:"rows"`
 	// Trace is the sampled EXPLAIN ANALYZE rendering (sanitized), only
@@ -245,6 +250,7 @@ func (s *Store) Record(e Execution) {
 		SQL:         e.SQL,
 		Kind:        e.Kind,
 		Err:         e.Err,
+		SessionID:   e.SessionID,
 		ExecUS:      m.ExecTime.Microseconds(),
 		Rows:        m.Rows,
 	}
